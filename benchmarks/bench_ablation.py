@@ -1,0 +1,108 @@
+"""Ablations of the design choices the paper (and DESIGN.md) call out:
+
+* cluster renaming on/off — renaming is what de-biases the compiler's
+  favourite clusters across threads (paper §IV uses it everywhere);
+* round-robin vs fixed merge priority — fixed priority starves
+  low-priority threads;
+* timeslice length — the multitasking scheduler's granularity;
+* NS vs AS by workload class — the ICC-splitting gap should widen with
+  ILP (paper §VI-B: "almost threefold" for mmhh).
+"""
+
+import pytest
+
+from repro.core.policies import CCSI_AS, CSMT, get_policy
+from repro.kernels import get_trace
+from repro.pipeline.processor import Processor, SimParams
+
+SCALE = 0.15
+WL = ("mcf", "cjpeg", "x264", "colorspace")  # an llmh-style mix
+
+
+def _traces():
+    return [get_trace(n, scale=SCALE) for n in WL]
+
+
+def _run(policy, n_threads=4, **kw):
+    params = dict(target_instructions=3_000, timeslice=1_500, seed=99)
+    params.update(kw)
+    proc = Processor(policy, _traces(), n_threads,
+                     params=SimParams(**params))
+    return proc.run()
+
+
+def test_ablation_renaming(benchmark, capsys):
+    def run():
+        on = _run(CCSI_AS, renaming=True).ipc
+        off = _run(CCSI_AS, renaming=False).ipc
+        return on, off
+
+    on, off = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["ipc_renaming_on"] = round(on, 3)
+    benchmark.extra_info["ipc_renaming_off"] = round(off, 3)
+    with capsys.disabled():
+        print(f"\nrenaming on: IPC {on:.2f}   off: {off:.2f} "
+              f"({100 * (on / off - 1):+.1f}%)")
+    # renaming must not hurt on a mixed workload
+    assert on >= off * 0.97
+
+
+def test_ablation_priority(benchmark, capsys):
+    def run():
+        rr = _run(CCSI_AS, priority="round-robin")
+        fx = _run(CCSI_AS, priority="fixed")
+        return rr, fx
+
+    rr, fx = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["ipc_round_robin"] = round(rr.ipc, 3)
+    benchmark.extra_info["ipc_fixed"] = round(fx.ipc, 3)
+    with capsys.disabled():
+        rr_min = min(b.instructions for b in rr.per_bench.values())
+        fx_min = min(b.instructions for b in fx.per_bench.values())
+        print(f"\nround-robin IPC {rr.ipc:.2f} (slowest thread "
+              f"{rr_min} instrs)  fixed IPC {fx.ipc:.2f} (slowest "
+              f"{fx_min})")
+    # fixed priority trades fairness for raw IPC: the slowest thread
+    # must progress at least as well under round-robin
+    rr_min = min(b.instructions for b in rr.per_bench.values())
+    fx_min = min(b.instructions for b in fx.per_bench.values())
+    assert rr_min >= fx_min * 0.5
+
+
+@pytest.mark.parametrize("timeslice", [500, 2_000, 8_000])
+def test_ablation_timeslice(benchmark, timeslice):
+    s = benchmark.pedantic(
+        lambda: _run(CCSI_AS, timeslice=timeslice),
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info["timeslice"] = timeslice
+    benchmark.extra_info["ipc"] = round(s.ipc, 3)
+    benchmark.extra_info["context_switches"] = s.context_switches
+    assert s.ipc > 0
+
+
+def test_ablation_ns_as_gap_by_class(benchmark, capsys):
+    """The NS->AS gap should be larger for ICC-heavy high-ILP mixes."""
+    def gap(names):
+        traces = [get_trace(n, scale=SCALE) for n in names]
+        out = {}
+        for pol in ("CCSI NS", "CCSI AS", "CSMT"):
+            proc = Processor(get_policy(pol), traces, 4,
+                             params=SimParams(target_instructions=3_000,
+                                              timeslice=1_500, seed=99))
+            out[pol] = proc.run().ipc
+        return (100 * (out["CCSI AS"] / out["CSMT"] - 1)
+                - 100 * (out["CCSI NS"] / out["CSMT"] - 1))
+
+    def run():
+        low = gap(("mcf", "bzip2", "blowfish", "gsmencode"))    # llll
+        high = gap(("x264", "idct", "imgpipe", "colorspace"))   # hhhh
+        return low, high
+
+    low, high = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["ns_as_gap_llll_pct"] = round(low, 2)
+    benchmark.extra_info["ns_as_gap_hhhh_pct"] = round(high, 2)
+    with capsys.disabled():
+        print(f"\nNS->AS speedup gap: llll {low:+.1f}pp  hhhh {high:+.1f}pp")
+    # paper: high-ILP code uses ICC more, so AS buys more there
+    assert high >= low - 1.0

@@ -1,0 +1,33 @@
+"""Shared benchmark fixtures.
+
+The figure benches regenerate the paper's tables at a reduced scale
+(full-scale regeneration is `examples/paper_claims.py` /
+`EXPERIMENTS.md`); each bench also records the figure's headline numbers
+in ``benchmark.extra_info`` so `--benchmark-only` output doubles as a
+results table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.experiment import ExperimentRunner, ExperimentScale
+
+BENCH_SCALE = ExperimentScale(
+    kernel_scale=0.15,
+    target_instructions=3_000,
+    timeslice=1_500,
+)
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    return ExperimentRunner(BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def warm_runner(runner) -> ExperimentRunner:
+    """Runner with the full policy matrix pre-populated (so the figure
+    benches measure figure assembly over a warm cache, and the first
+    bench to touch it measures the simulation cost itself)."""
+    return runner

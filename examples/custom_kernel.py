@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Write your own kernel against the compiler's builder API, compile it
+for the paper's machine, inspect the schedule, and run it both
+functionally and under the timing model.
+
+The kernel below is a fixed-point FIR filter — a typical embedded VLIW
+workload that is not part of the paper's suite.
+
+Run:  python examples/custom_kernel.py
+"""
+
+from repro import PAPER_MACHINE, run_single_thread
+from repro.compiler.builder import KernelBuilder
+from repro.compiler.pipeline import compile_kernel
+from repro.pipeline.trace import record_trace
+from repro.vm import VM
+
+N_TAPS = 8
+N_SAMPLES = 512
+
+
+def build_fir() -> KernelBuilder:
+    b = KernelBuilder("fir8")
+    taps = [3, -5, 12, 40, 40, 12, -5, 3]
+    samples = b.data_words(
+        [(i * 37) % 251 for i in range(N_SAMPLES + N_TAPS)], "x"
+    )
+    out = b.alloc_words(N_SAMPLES, "y")
+    with b.counted_loop(N_SAMPLES) as i:
+        off = b.shl(i, 2)
+        base = b.add(off, samples)
+        acc = None
+        for k, coef in enumerate(taps):
+            x = b.ldw(base, 4 * k, region="x")
+            term = b.mpy(x, coef)
+            acc = term if acc is None else b.add(acc, term)
+        b.stw_ix(b.sra(acc, 7), out, off, region="y")
+    return b
+
+
+def main() -> None:
+    # compile: BUG cluster assignment + ICC insertion + regalloc + list
+    # scheduling, all visible in the stats
+    result = compile_kernel(build_fir(), PAPER_MACHINE)
+    program = result.program
+    print("compile stats:", {k: round(v, 2) for k, v in result.stats.items()})
+    print("\nfirst 10 scheduled VLIW instructions:")
+    for ins in program.instructions[:10]:
+        print(" ", ins)
+
+    # functional check against a Python oracle
+    vm = VM(program)
+    vm.run()
+    taps = [3, -5, 12, 40, 40, 12, -5, 3]
+    xs = [(i * 37) % 251 for i in range(N_SAMPLES + N_TAPS)]
+    out_base = (N_SAMPLES + N_TAPS) * 4 + 64
+    got = int.from_bytes(vm.mem[out_base:out_base + 4], "little")
+    want = (sum(xs[k] * taps[k] for k in range(N_TAPS))) >> 7
+    assert got == want & 0xFFFFFFFF, (got, want)
+    print(f"\nfunctional check passed: y[0] = {got}")
+
+    # timing: single-thread IPC with real vs perfect memory
+    trace = record_trace(program, PAPER_MACHINE)
+    real = run_single_thread(trace)
+    perf = run_single_thread(trace, perfect_memory=True)
+    print(f"IPCr = {real.ipc:.2f}   IPCp = {perf.ipc:.2f} "
+          f"(dynamic VLIW instructions: {trace.length})")
+
+
+if __name__ == "__main__":
+    main()

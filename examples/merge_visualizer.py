@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Visualise how the merge hardware packs two threads' instructions
+cycle by cycle under every split-issue policy (an interactive version of
+the paper's Figs. 5 and 6).
+
+Run:  python examples/merge_visualizer.py
+"""
+
+from repro.arch.config import ClusterConfig, MachineConfig
+from repro.core.merging import MergeEngine
+from repro.core.splitstate import PendingInstruction
+from repro.isa.opcodes import Opcode
+from repro.isa.operation import Operation, VLIWInstruction
+from repro.isa.program import Program
+from repro.pipeline.trace import build_static_table
+
+MACHINE = MachineConfig(
+    n_clusters=2,
+    cluster=ClusterConfig(issue_width=3, n_alu=3, n_mul=3, n_mem=3),
+)
+
+# the Fig. 5-shaped example: (cluster -> slots) per instruction
+THREAD0 = [{0: 2, 1: 1}, {0: 2, 1: 2}]
+THREAD1 = [{0: 2, 1: 2}, {0: 1, 1: 2}]
+
+
+def build_table():
+    instrs = []
+    for slots in THREAD0 + THREAD1:
+        ops = [
+            Operation(Opcode.ADD, cluster=c, dst=1, srcs=(2, 3))
+            for c, n in slots.items()
+            for _ in range(n)
+        ]
+        instrs.append(VLIWInstruction(ops))
+    instrs.append(VLIWInstruction([Operation(Opcode.HALT, cluster=0)]))
+    return build_static_table(Program(instrs, 2, name="viz"), MACHINE)
+
+
+def simulate(split: str, merge: str) -> list[str]:
+    table = build_table()
+    ptr, limit = [0, 2], [2, 4]
+    pend: list[PendingInstruction | None] = [None, None]
+    engine = MergeEngine(MACHINE, merge)
+    lines = []
+    cycle = 0
+    while ptr[0] < limit[0] or ptr[1] < limit[1] or any(pend):
+        engine.begin_cycle()
+        order = (0, 1) if cycle % 2 == 0 else (1, 0)
+        cells = {0: "      ", 1: "      "}
+        for th in order:
+            if pend[th] is None:
+                if ptr[th] >= limit[th]:
+                    continue
+                pend[th] = PendingInstruction(table, ptr[th], split, True)
+                ptr[th] += 1
+            p = pend[th]
+            if split == "none":
+                n = p.ops_total if engine.try_whole(p) else 0
+                mask = table.cmask[p.static_index] if n else 0
+            elif split == "cluster":
+                mask, n = engine.try_bundles(p)
+            else:
+                n, mask, _ = engine.try_ops(p)
+            if n:
+                shown = "".join(
+                    f"c{c}" if (mask >> c) & 1 else "  " for c in range(2)
+                )
+                cells[th] = f"{n}op {shown}"
+            if p.done:
+                pend[th] = None
+        lines.append(
+            f"  cycle {cycle}:  T0[{cells[0]}]   T1[{cells[1]}]"
+        )
+        cycle += 1
+        if cycle > 12:
+            break
+    lines.append(f"  -> {cycle} cycles")
+    return lines
+
+
+def main() -> None:
+    print("Two threads, 2-cluster 3-issue machine (paper Fig. 5 shape)")
+    print("T0:", THREAD0, " T1:", THREAD1, "\n")
+    for title, split, merge in (
+        ("no split, operation-level merge (SMT)", "none", "op"),
+        ("no split, cluster-level merge (CSMT)", "none", "cluster"),
+        ("cluster split + cluster merge (CCSI)", "cluster", "cluster"),
+        ("cluster split + op merge (COSI)", "cluster", "op"),
+        ("op split + op merge (OOSI)", "op", "op"),
+    ):
+        print(title)
+        for line in simulate(split, merge):
+            print(line)
+        print()
+
+
+if __name__ == "__main__":
+    main()

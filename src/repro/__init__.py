@@ -1,0 +1,55 @@
+"""repro — cycle-accurate reproduction of *A Low Cost Split-Issue
+Technique to Improve Performance of SMT Clustered VLIW Processors*
+(Gupta, Sánchez, Llosa — IPDPS Workshops 2010).
+
+Public API tour
+---------------
+* :mod:`repro.arch`      — machine configuration (the paper's 4-cluster,
+  16-issue VEX machine is :data:`repro.arch.PAPER_MACHINE`);
+* :mod:`repro.compiler`  — the mini VLIW compiler (IR builder, BUG
+  cluster assignment, list scheduling, register allocation);
+* :mod:`repro.vm`        — functional interpreter + trace recording;
+* :mod:`repro.kernels`   — the 12-benchmark suite (paper Fig. 13a);
+* :mod:`repro.core`      — merging hardware, split-issue policies
+  (CSMT/SMT/CCSI/COSI/OOSI x NS/AS), delay-buffer semantics;
+* :mod:`repro.pipeline`  — the cycle-accurate SMT timing simulator;
+* :mod:`repro.harness`   — workloads and Figs. 13-16 regenerators.
+
+Quickstart
+----------
+>>> from repro import quick_demo
+>>> stats = quick_demo()          # CCSI AS on the llhh workload
+>>> stats.ipc > 0
+True
+"""
+
+from .arch import PAPER_MACHINE, MachineConfig
+from .core.policies import ALL_POLICIES, Policy, get_policy
+from .harness.experiment import ExperimentRunner, ExperimentScale
+from .kernels.suite import SUITE, get_trace
+from .pipeline.processor import Processor, SimParams, run_single_thread
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PAPER_MACHINE",
+    "MachineConfig",
+    "ALL_POLICIES",
+    "Policy",
+    "get_policy",
+    "ExperimentRunner",
+    "ExperimentScale",
+    "SUITE",
+    "get_trace",
+    "Processor",
+    "SimParams",
+    "run_single_thread",
+    "quick_demo",
+]
+
+
+def quick_demo(policy: str = "CCSI AS", workload: str = "llhh"):
+    """Run one small multithreaded simulation and return its stats."""
+    from .harness.experiment import with_quick_scale
+
+    return with_quick_scale().run(policy, workload, 4)

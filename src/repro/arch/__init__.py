@@ -1,0 +1,45 @@
+"""Machine model: configuration and packed resource arithmetic."""
+
+from .config import (
+    PAPER_MACHINE,
+    CacheConfig,
+    ClusterConfig,
+    MachineConfig,
+    small_machine,
+)
+from .resources import (
+    CLUSTER_BITS,
+    OFF_ALU,
+    OFF_MEM,
+    OFF_MUL,
+    OFF_SLOTS,
+    capacity_packed,
+    cluster_lane_mask,
+    fits_packed,
+    guards_mask,
+    pack_cluster,
+    pack_usage,
+    unpack_usage,
+    usage_of_ops,
+)
+
+__all__ = [
+    "PAPER_MACHINE",
+    "CacheConfig",
+    "ClusterConfig",
+    "MachineConfig",
+    "small_machine",
+    "CLUSTER_BITS",
+    "OFF_ALU",
+    "OFF_MEM",
+    "OFF_MUL",
+    "OFF_SLOTS",
+    "capacity_packed",
+    "cluster_lane_mask",
+    "fits_packed",
+    "guards_mask",
+    "pack_cluster",
+    "pack_usage",
+    "unpack_usage",
+    "usage_of_ops",
+]

@@ -1,0 +1,98 @@
+"""Machine configuration.
+
+The paper's evaluation machine (§IV, §VI-A):
+
+* 4 clusters, 4-issue per cluster (16-issue total);
+* per cluster: 4 ALUs, 2 multipliers, 1 load/store unit;
+* branch unit at cluster 0, no branch predictor (fall-through predicted),
+  taken-branch penalty 1 cycle, 2-cycle compare-to-branch delay;
+* memory/multiply latency 2 cycles, everything else 1;
+* 64 KB 4-way set-associative ICache and DCache, 20-cycle miss penalty,
+  no L2;
+* fully connected inter-cluster network, partitioned register file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Per-cluster issue resources."""
+
+    issue_width: int = 4
+    n_alu: int = 4
+    n_mul: int = 2
+    n_mem: int = 1
+    n_regs: int = 64
+
+    def __post_init__(self) -> None:
+        if self.issue_width < 1:
+            raise ValueError("issue_width must be >= 1")
+        if min(self.n_alu, self.n_mul, self.n_mem) < 0:
+            raise ValueError("negative FU count")
+        if self.n_alu < 1:
+            raise ValueError("need at least one ALU per cluster")
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """One cache level (the paper uses a single level)."""
+
+    size_bytes: int = 64 * 1024
+    assoc: int = 4
+    line_bytes: int = 32
+    miss_penalty: int = 20
+
+    def __post_init__(self) -> None:
+        if self.size_bytes % (self.assoc * self.line_bytes):
+            raise ValueError("cache size not divisible into sets")
+        if self.line_bytes & (self.line_bytes - 1):
+            raise ValueError("line size must be a power of two")
+
+    @property
+    def n_sets(self) -> int:
+        return self.size_bytes // (self.assoc * self.line_bytes)
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Full machine description shared by compiler, VM and timing model."""
+
+    n_clusters: int = 4
+    cluster: ClusterConfig = field(default_factory=ClusterConfig)
+    icache: CacheConfig = field(default_factory=CacheConfig)
+    dcache: CacheConfig = field(default_factory=CacheConfig)
+    taken_branch_penalty: int = 1
+    cmp_to_branch_delay: int = 2
+    n_branch_regs: int = 8
+    #: latency of an inter-cluster copy (send->recv result available)
+    icc_latency: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_clusters < 1:
+            raise ValueError("need at least one cluster")
+        if self.n_clusters > 8:
+            raise ValueError("packed resource model supports <= 8 clusters")
+
+    @property
+    def issue_width(self) -> int:
+        """Total machine issue width."""
+        return self.n_clusters * self.cluster.issue_width
+
+    @property
+    def all_clusters_mask(self) -> int:
+        return (1 << self.n_clusters) - 1
+
+
+#: The configuration used throughout the paper's evaluation.
+PAPER_MACHINE = MachineConfig()
+
+
+def small_machine() -> MachineConfig:
+    """A 2-cluster, 3-issue machine as used in the paper's Fig. 5 example."""
+    return MachineConfig(
+        n_clusters=2,
+        cluster=ClusterConfig(issue_width=3, n_alu=3, n_mul=2, n_mem=1),
+    )

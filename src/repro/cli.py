@@ -1,0 +1,152 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``      — one simulation cell (policy x workload x threads)
+``fig``      — regenerate a paper figure (13, 14, 15 or 16)
+``claims``   — evaluate the §VI-B headline claims
+``waste``    — vertical/horizontal waste decomposition per policy
+``report``   — run the full matrix and (re)write EXPERIMENTS.md
+``bench13``  — the Fig. 13a single-thread table
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .harness.claims import evaluate_claims, render_claims
+from .harness.experiment import (
+    DEFAULT_SCALE,
+    QUICK_SCALE,
+    ExperimentRunner,
+)
+from .harness.figures import (
+    fig13a,
+    fig14,
+    fig15,
+    fig16,
+    render_fig13a,
+    render_fig16,
+    render_speedup_table,
+)
+from .harness.waste import render_waste, waste_breakdown
+from .harness.workloads import WORKLOADS
+
+
+def _runner(args) -> ExperimentRunner:
+    return ExperimentRunner(QUICK_SCALE if args.quick else DEFAULT_SCALE)
+
+
+def cmd_run(args) -> int:
+    r = _runner(args)
+    s = r.run(args.policy, args.workload, args.threads)
+    print(json.dumps(s.summary(), indent=1))
+    return 0
+
+
+def cmd_fig(args) -> int:
+    r = _runner(args)
+    if args.number == 13:
+        print(render_fig13a(fig13a(runner=r)))
+    elif args.number == 14:
+        print("Fig. 14: CCSI speedup over CSMT (%)")
+        print(render_speedup_table(fig14(runner=r), ["NS", "AS"]))
+    elif args.number == 15:
+        print("Fig. 15: COSI/OOSI speedup over SMT (%)")
+        print(render_speedup_table(
+            fig15(runner=r),
+            ["COSI NS", "COSI AS", "OOSI NS", "OOSI AS"],
+        ))
+    elif args.number == 16:
+        print(render_fig16(fig16(runner=r)))
+    else:
+        print(f"no figure {args.number}; choose 13/14/15/16",
+              file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_claims(args) -> int:
+    claims = evaluate_claims(_runner(args))
+    print(render_claims(claims))
+    return 0 if all(c.holds for c in claims) else 1
+
+
+def cmd_waste(args) -> int:
+    rows = waste_breakdown(
+        ["CSMT", "CCSI AS", "SMT", "COSI AS", "OOSI AS"],
+        args.workload,
+        args.threads,
+        runner=_runner(args),
+    )
+    print(render_waste(rows))
+    return 0
+
+
+def cmd_report(args) -> int:
+    from .harness.report import render_report
+
+    r = _runner(args)
+    results = {
+        "fig13a": fig13a(runner=r),
+        "fig14": fig14(runner=r),
+        "fig15": fig15(runner=r),
+        "fig16": fig16(runner=r),
+        "claims": [
+            {"name": c.name, "paper": c.paper, "measured": c.measured,
+             "holds": c.holds}
+            for c in evaluate_claims(r)
+        ],
+    }
+    note = ("Quick scale." if args.quick else
+            "Default scale (kernel scale 1.0, 40k-instruction runs).")
+    text = render_report(results, note)
+    with open(args.output, "w") as f:
+        f.write(text)
+    print(f"wrote {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    ap = argparse.ArgumentParser(
+        prog="repro",
+        description="SMT clustered-VLIW split-issue reproduction",
+    )
+    ap.add_argument("--quick", action="store_true",
+                    help="small traces (fast, noisier)")
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("run", help="simulate one policy/workload cell")
+    p.add_argument("--policy", default="CCSI AS")
+    p.add_argument("--workload", default="llhh", choices=list(WORKLOADS))
+    p.add_argument("--threads", type=int, default=4, choices=(1, 2, 4))
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("fig", help="regenerate a paper figure")
+    p.add_argument("number", type=int, choices=(13, 14, 15, 16))
+    p.set_defaults(func=cmd_fig)
+
+    p = sub.add_parser("claims", help="evaluate the paper's claims")
+    p.set_defaults(func=cmd_claims)
+
+    p = sub.add_parser("waste", help="issue-waste decomposition")
+    p.add_argument("--workload", default="llhh", choices=list(WORKLOADS))
+    p.add_argument("--threads", type=int, default=4, choices=(2, 4))
+    p.set_defaults(func=cmd_waste)
+
+    p = sub.add_parser("report", help="write EXPERIMENTS.md")
+    p.add_argument("--output", default="EXPERIMENTS.md")
+    p.set_defaults(func=cmd_report)
+
+    return ap
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

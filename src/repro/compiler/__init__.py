@@ -1,0 +1,34 @@
+"""Mini VLIW compiler (IR, BUG cluster assignment, list scheduling)."""
+
+from .builder import BranchCond, KernelBuilder, Value
+from .cluster_assign import AssignmentError, assign_clusters, insert_icc
+from .ddg import DDG
+from .ir import BasicBlock, Function, IROp
+from .liveness import Liveness
+from .pipeline import CompileResult, compile_function, compile_kernel
+from .regalloc import Allocation, RegallocError, allocate, decode_reg, encode_reg
+from .scheduler import ScheduleError, schedule_block
+
+__all__ = [
+    "BranchCond",
+    "KernelBuilder",
+    "Value",
+    "AssignmentError",
+    "assign_clusters",
+    "insert_icc",
+    "DDG",
+    "BasicBlock",
+    "Function",
+    "IROp",
+    "Liveness",
+    "CompileResult",
+    "compile_function",
+    "compile_kernel",
+    "Allocation",
+    "RegallocError",
+    "allocate",
+    "decode_reg",
+    "encode_reg",
+    "ScheduleError",
+    "schedule_block",
+]

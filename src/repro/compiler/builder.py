@@ -1,0 +1,421 @@
+"""Kernel builder: a fluent front end for writing benchmark programs.
+
+Kernels are written as Python functions that drive a
+:class:`KernelBuilder`; Python-level loops act as the unroller (the same
+role Trace-Scheduling-era compilers gave to aggressive unrolling before
+scheduling).  The builder produces a :class:`~repro.compiler.ir.Function`
+plus a :class:`~repro.isa.program.DataSegment`.
+
+Example
+-------
+>>> from repro.compiler.builder import KernelBuilder
+>>> b = KernelBuilder("axpy")
+>>> x = b.alloc_words(64, "x"); y = b.alloc_words(64, "y")
+>>> a = b.const(3)
+>>> with b.counted_loop(64) as i:
+...     off = b.shl(i, b.const(2))
+...     xv = b.ldw_ix(x, off, region="x")
+...     yv = b.ldw_ix(y, off, region="y")
+...     b.stw_ix(b.add(b.mpy(xv, a), yv), y, off, region="y")
+>>> fn, data = b.finish()
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from ..isa.opcodes import Opcode
+from ..isa.program import DataSegment
+from .ir import BasicBlock, Function, IROp
+
+
+class Value:
+    """A virtual-register handle returned by builder ops."""
+
+    __slots__ = ("vreg",)
+
+    def __init__(self, vreg: int):
+        self.vreg = vreg
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"v{self.vreg}"
+
+
+class BranchCond:
+    """A branch-register handle produced by compare-to-branch ops."""
+
+    __slots__ = ("breg",)
+
+    def __init__(self, breg: int):
+        self.breg = breg
+
+
+class KernelBuilder:
+    """Builds IR functions and their data segments."""
+
+    def __init__(self, name: str, data_size: int = 1 << 20):
+        self.fn = Function(name)
+        self.data = DataSegment(size=data_size)
+        self._cur = BasicBlock("entry")
+        self.fn.add_block(self._cur)
+        self._label_n = 0
+        self._heap = 64  # static bump allocator (byte address), 0 reserved
+        self._zero: Value | None = None
+
+    # ------------------------------------------------------------------
+    # registers & constants
+    def _new_vreg(self) -> int:
+        v = self.fn.n_vregs
+        self.fn.n_vregs += 1
+        return v
+
+    def _new_breg(self) -> int:
+        b = self.fn.n_bregs
+        self.fn.n_bregs += 1
+        return b
+
+    def _emit(self, op: IROp) -> IROp:
+        if self._cur.terminator is not None:
+            raise ValueError(
+                f"emitting into terminated block {self._cur.label}"
+            )
+        self._cur.ops.append(op)
+        return op
+
+    def const(self, value: int) -> Value:
+        """Materialise an immediate into a register."""
+        d = self._new_vreg()
+        self._emit(
+            IROp(Opcode.MOV, dst=d, imm=int(value) & 0xFFFFFFFF, use_imm=True)
+        )
+        return Value(d)
+
+    def zero(self) -> Value:
+        if self._zero is None:
+            self._zero = self.const(0)
+        return self._zero
+
+    # ------------------------------------------------------------------
+    # data segment helpers
+    def alloc_words(self, n_words: int, name: str = "") -> int:
+        """Reserve ``n_words`` words, return the base byte address."""
+        base = self._heap
+        self._heap += 4 * n_words
+        if self._heap > self.data.size:
+            raise ValueError(f"data segment overflow allocating {name!r}")
+        return base
+
+    def data_words(self, values, name: str = "") -> int:
+        """Allocate and initialise an array of 32-bit words."""
+        values = list(values)
+        base = self.alloc_words(len(values), name)
+        for i, v in enumerate(values):
+            self.data.set_word(base + 4 * i, int(v) & 0xFFFFFFFF)
+        return base
+
+    # ------------------------------------------------------------------
+    # arithmetic (two-register or register-immediate forms)
+    def _binop(self, opc: Opcode, a: Value, b) -> Value:
+        d = self._new_vreg()
+        if isinstance(b, Value):
+            self._emit(IROp(opc, dst=d, srcs=[a.vreg, b.vreg]))
+        else:
+            self._emit(
+                IROp(
+                    opc,
+                    dst=d,
+                    srcs=[a.vreg],
+                    imm=int(b) & 0xFFFFFFFF,
+                    use_imm=True,
+                )
+            )
+        return Value(d)
+
+    def add(self, a: Value, b) -> Value:
+        return self._binop(Opcode.ADD, a, b)
+
+    def sub(self, a: Value, b) -> Value:
+        return self._binop(Opcode.SUB, a, b)
+
+    def and_(self, a: Value, b) -> Value:
+        return self._binop(Opcode.AND, a, b)
+
+    def or_(self, a: Value, b) -> Value:
+        return self._binop(Opcode.OR, a, b)
+
+    def xor(self, a: Value, b) -> Value:
+        return self._binop(Opcode.XOR, a, b)
+
+    def shl(self, a: Value, b) -> Value:
+        return self._binop(Opcode.SHL, a, b)
+
+    def shr(self, a: Value, b) -> Value:
+        return self._binop(Opcode.SHR, a, b)
+
+    def sra(self, a: Value, b) -> Value:
+        return self._binop(Opcode.SRA, a, b)
+
+    def min_(self, a: Value, b) -> Value:
+        return self._binop(Opcode.MIN, a, b)
+
+    def max_(self, a: Value, b) -> Value:
+        return self._binop(Opcode.MAX, a, b)
+
+    def mpy(self, a: Value, b) -> Value:
+        return self._binop(Opcode.MPY, a, b)
+
+    def mpyh(self, a: Value, b) -> Value:
+        return self._binop(Opcode.MPYH, a, b)
+
+    def mpyshr15(self, a: Value, b) -> Value:
+        return self._binop(Opcode.MPYSHR15, a, b)
+
+    def cmpeq(self, a: Value, b) -> Value:
+        return self._binop(Opcode.CMPEQ, a, b)
+
+    def cmpne(self, a: Value, b) -> Value:
+        return self._binop(Opcode.CMPNE, a, b)
+
+    def cmplt(self, a: Value, b) -> Value:
+        return self._binop(Opcode.CMPLT, a, b)
+
+    def cmple(self, a: Value, b) -> Value:
+        return self._binop(Opcode.CMPLE, a, b)
+
+    def cmpgt(self, a: Value, b) -> Value:
+        return self._binop(Opcode.CMPGT, a, b)
+
+    def cmpge(self, a: Value, b) -> Value:
+        return self._binop(Opcode.CMPGE, a, b)
+
+    def cmpltu(self, a: Value, b) -> Value:
+        return self._binop(Opcode.CMPLTU, a, b)
+
+    def mov(self, a: Value) -> Value:
+        d = self._new_vreg()
+        self._emit(IROp(Opcode.MOV, dst=d, srcs=[a.vreg]))
+        return Value(d)
+
+    # -- loop-carried variables ----------------------------------------
+    # Rebinding a Python name creates a *new* virtual register, so an
+    # accumulator updated inside a loop body must be redefined in place:
+    # use ``assign``/``inc`` (the IR's one non-SSA idiom, like the
+    # counted-loop counter).
+    def assign(self, dest: Value, src) -> Value:
+        """Redefine ``dest``'s virtual register with ``src`` (MOV)."""
+        if isinstance(src, Value):
+            self._emit(IROp(Opcode.MOV, dst=dest.vreg, srcs=[src.vreg]))
+        else:
+            self._emit(
+                IROp(
+                    Opcode.MOV,
+                    dst=dest.vreg,
+                    imm=int(src) & 0xFFFFFFFF,
+                    use_imm=True,
+                )
+            )
+        return dest
+
+    def _inplace(self, opc: Opcode, dest: Value, b) -> Value:
+        if isinstance(b, Value):
+            self._emit(IROp(opc, dst=dest.vreg, srcs=[dest.vreg, b.vreg]))
+        else:
+            self._emit(
+                IROp(
+                    opc,
+                    dst=dest.vreg,
+                    srcs=[dest.vreg],
+                    imm=int(b) & 0xFFFFFFFF,
+                    use_imm=True,
+                )
+            )
+        return dest
+
+    def inc(self, dest: Value, b) -> Value:
+        """``dest += b`` in place (loop-carried accumulator)."""
+        return self._inplace(Opcode.ADD, dest, b)
+
+    def dec(self, dest: Value, b) -> Value:
+        return self._inplace(Opcode.SUB, dest, b)
+
+    def xor_into(self, dest: Value, b) -> Value:
+        return self._inplace(Opcode.XOR, dest, b)
+
+    def or_into(self, dest: Value, b) -> Value:
+        return self._inplace(Opcode.OR, dest, b)
+
+    def _unop(self, opc: Opcode, a: Value) -> Value:
+        d = self._new_vreg()
+        self._emit(IROp(opc, dst=d, srcs=[a.vreg]))
+        return Value(d)
+
+    def abs_(self, a: Value) -> Value:
+        return self._unop(Opcode.ABS, a)
+
+    def not_(self, a: Value) -> Value:
+        return self._unop(Opcode.NOT, a)
+
+    def sxtb(self, a: Value) -> Value:
+        return self._unop(Opcode.SXTB, a)
+
+    def sxth(self, a: Value) -> Value:
+        return self._unop(Opcode.SXTH, a)
+
+    def zxtb(self, a: Value) -> Value:
+        return self._unop(Opcode.ZXTB, a)
+
+    def zxth(self, a: Value) -> Value:
+        return self._unop(Opcode.ZXTH, a)
+
+    # ------------------------------------------------------------------
+    # memory.  Plain forms take (address register, constant offset);
+    # *_ix forms add a register index to a constant base first.
+    def _ld(self, opc: Opcode, addr: Value, off: int, region: str) -> Value:
+        d = self._new_vreg()
+        self._emit(
+            IROp(opc, dst=d, srcs=[addr.vreg], imm=off, region=region)
+        )
+        return Value(d)
+
+    def ldw(self, addr: Value, off: int = 0, region: str = "mem") -> Value:
+        return self._ld(Opcode.LDW, addr, off, region)
+
+    def ldh(self, addr: Value, off: int = 0, region: str = "mem") -> Value:
+        return self._ld(Opcode.LDH, addr, off, region)
+
+    def ldhu(self, addr: Value, off: int = 0, region: str = "mem") -> Value:
+        return self._ld(Opcode.LDHU, addr, off, region)
+
+    def ldb(self, addr: Value, off: int = 0, region: str = "mem") -> Value:
+        return self._ld(Opcode.LDB, addr, off, region)
+
+    def ldbu(self, addr: Value, off: int = 0, region: str = "mem") -> Value:
+        return self._ld(Opcode.LDBU, addr, off, region)
+
+    def _st(self, opc, val: Value, addr: Value, off: int, region: str):
+        self._emit(
+            IROp(
+                opc, srcs=[val.vreg, addr.vreg], imm=off, region=region
+            )
+        )
+
+    def stw(self, val: Value, addr: Value, off: int = 0, region: str = "mem"):
+        self._st(Opcode.STW, val, addr, off, region)
+
+    def sth(self, val: Value, addr: Value, off: int = 0, region: str = "mem"):
+        self._st(Opcode.STH, val, addr, off, region)
+
+    def stb(self, val: Value, addr: Value, off: int = 0, region: str = "mem"):
+        self._st(Opcode.STB, val, addr, off, region)
+
+    def addr(self, base: int) -> Value:
+        """Materialise a constant byte address."""
+        return self.const(base)
+
+    def ldw_ix(self, base: int, index: Value, region: str = "mem") -> Value:
+        """Load word at constant base + register byte index."""
+        a = self.add(index, base)
+        return self.ldw(a, 0, region)
+
+    def stw_ix(
+        self, val: Value, base: int, index: Value, region: str = "mem"
+    ) -> None:
+        a = self.add(index, base)
+        self.stw(val, a, 0, region)
+
+    # ------------------------------------------------------------------
+    # control flow
+    def _fresh_label(self, stem: str) -> str:
+        self._label_n += 1
+        return f"{stem}_{self._label_n}"
+
+    def label(self, name: str | None = None, stem: str = "bb") -> str:
+        """Terminate the current block (fall-through) and start a new one."""
+        name = name or self._fresh_label(stem)
+        blk = BasicBlock(name)
+        self.fn.add_block(blk)
+        self._cur = blk
+        return name
+
+    def cmp_to_branch(self, opc: Opcode, a: Value, b) -> BranchCond:
+        """Compare and set a branch register (two-phase branch, phase 1)."""
+        br = self._new_breg()
+        if isinstance(b, Value):
+            self._emit(
+                IROp(
+                    Opcode.CMPBR,
+                    bdst=br,
+                    srcs=[a.vreg, b.vreg],
+                    cmp_kind=int(opc),
+                )
+            )
+        else:
+            self._emit(
+                IROp(
+                    Opcode.CMPBR,
+                    bdst=br,
+                    srcs=[a.vreg],
+                    imm=int(b) & 0xFFFFFFFF,
+                    use_imm=True,
+                    cmp_kind=int(opc),
+                )
+            )
+        return BranchCond(br)
+
+    def br_if(self, cond: BranchCond, target: str) -> None:
+        """Branch to ``target`` if ``cond`` is true; fall through otherwise."""
+        self._terminate(IROp(Opcode.BR, bsrc=cond.breg, target=target))
+
+    def br_ifnot(self, cond: BranchCond, target: str) -> None:
+        self._terminate(IROp(Opcode.BRF, bsrc=cond.breg, target=target))
+
+    def goto(self, target: str) -> None:
+        self._terminate(IROp(Opcode.GOTO, target=target))
+
+    def halt(self) -> None:
+        self._terminate(IROp(Opcode.HALT))
+
+    def _terminate(self, op: IROp) -> None:
+        if self._cur.terminator is not None:
+            raise ValueError(f"block {self._cur.label} already terminated")
+        self._cur.terminator = op
+        if op.opcode is not Opcode.HALT:
+            nxt = BasicBlock(self._fresh_label("bb"))
+            self.fn.add_block(nxt)
+            self._cur = nxt
+
+    # ------------------------------------------------------------------
+    # structured loop helper
+    @contextmanager
+    def counted_loop(self, n_iters, step: int = 1, name: str = "loop"):
+        """``for i in range(0, n_iters, step)`` as IR.
+
+        ``n_iters`` may be an int or a :class:`Value`.  Yields the loop
+        counter :class:`Value`.  The counter is a *mutable* virtual
+        register (redefined each iteration) — the one non-SSA idiom the
+        IR permits.
+        """
+        bound = n_iters if isinstance(n_iters, Value) else self.const(n_iters)
+        counter = self.const(0)
+        head = self.label(self._fresh_label(name))
+        yield counter
+        # increment in place: counter vreg is redefined
+        self._emit(
+            IROp(
+                Opcode.ADD,
+                dst=counter.vreg,
+                srcs=[counter.vreg],
+                imm=step,
+                use_imm=True,
+            )
+        )
+        cond = self.cmp_to_branch(Opcode.CMPLT, counter, bound)
+        self.br_if(cond, head)
+
+    # ------------------------------------------------------------------
+    def finish(self) -> tuple[Function, DataSegment]:
+        """Seal the function (adds HALT if the last block is open)."""
+        if self._cur.terminator is None:
+            self._cur.terminator = IROp(Opcode.HALT)
+        self.fn.finalize()
+        return self.fn, self.data

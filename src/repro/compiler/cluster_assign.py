@@ -1,0 +1,198 @@
+"""Bottom-Up-Greedy-style cluster assignment.
+
+The VEX compiler assigns operations to clusters with Bottom-Up Greedy
+(BUG, Ellis' Bulldog).  We implement a practical greedy variant with the
+same objective: place each operation so that (a) operands are local when
+possible (inter-cluster copies are expensive) and (b) per-cluster
+functional-unit load stays balanced so independent chains spread across
+clusters.
+
+Every *value* (virtual register) acquires a **home cluster** — the
+cluster of its defining operation.  Redefinitions of a vreg (loop
+counters) are pinned to the home so the value has a single location.
+Branches are pinned to cluster 0 (VEX branch unit).  After assignment,
+:func:`insert_icc` materialises explicit transfer pseudo-ops (lowered to
+paired ``SEND``/``RECV`` by the scheduler) wherever an operand lives in
+a different cluster — paper §IV: "Clusters are architecturally visible
+and require explicit inter-cluster copy operations to move data across
+them."
+"""
+
+from __future__ import annotations
+
+from ..arch.config import MachineConfig
+from ..isa.opcodes import FUClass, Opcode
+from .ir import Function, IROp
+
+#: cost of one operand needing an inter-cluster copy, in load units.
+#: VEX/ST200 BUG spreads aggressively (trace scheduling feeds it whole
+#: traces); a lower copy cost reproduces that per-instruction cluster
+#: occupancy, which is what gives cluster-level SMT merging conflicts.
+ICC_COST = 1.75
+
+
+class AssignmentError(ValueError):
+    pass
+
+
+def constant_vregs(fn: Function) -> dict[int, int]:
+    """Virtual registers defined exactly once by a MOV-immediate.
+
+    These are *rematerialisable*: rather than paying an inter-cluster
+    copy, the compiler clones the MOV into the consuming cluster (as the
+    Multiflow compiler does for cheap recomputable values).
+    Returns vreg -> immediate value.
+    """
+    n_defs: dict[int, int] = {}
+    value: dict[int, int] = {}
+    for blk in fn.blocks:
+        for op in blk.all_ops():
+            if op.dst is None:
+                continue
+            n_defs[op.dst] = n_defs.get(op.dst, 0) + 1
+            if op.opcode is Opcode.MOV and op.use_imm and not op.srcs:
+                value[op.dst] = op.imm
+    return {v: imm for v, imm in value.items() if n_defs[v] == 1}
+
+
+def assign_clusters(fn: Function, cfg: MachineConfig) -> dict[int, int]:
+    """Assign ``op.cluster`` for every op; return vreg home map."""
+    fn.finalize()
+    n_cl = cfg.n_clusters
+    home: dict[int, int] = {}
+    consts = constant_vregs(fn)
+
+    cl = cfg.cluster
+    fu_cap = {
+        FUClass.ALU: cl.n_alu,
+        FUClass.MUL: cl.n_mul,
+        FUClass.MEM: cl.n_mem,
+        FUClass.BRANCH: 1,
+        FUClass.COPY: cl.issue_width,
+    }
+
+    for blk in fn.blocks:
+        # per-block load trackers: [cluster][fu] issue pressure
+        fu_load = [dict.fromkeys(FUClass, 0) for _ in range(n_cl)]
+        tot_load = [0] * n_cl
+        # transfers already paid for in this block: {(vreg, cluster)}.
+        # insert_icc caches one copy per (value, cluster) per block, so
+        # the marginal cost of a second remote use is zero.
+        paid: set[tuple[int, int]] = set()
+
+        def place(op: IROp, c: int) -> None:
+            op.cluster = c
+            fu_load[c][op.fu] += 1
+            tot_load[c] += 1
+            for s in op.srcs:
+                if s not in consts and home.get(s, c) != c:
+                    paid.add((s, c))
+            if op.dst is not None and op.dst not in home:
+                home[op.dst] = c
+
+        for op in blk.all_ops():
+            if op.is_branch:
+                place(op, 0)
+                continue
+            if op.dst is not None and op.dst in home:
+                # redefinition: value lives where it was born
+                place(op, home[op.dst])
+                continue
+            best_c, best_cost = 0, float("inf")
+            for c in range(n_cl):
+                cost = 0.0
+                for s in op.srcs:
+                    if s in consts:
+                        continue  # rematerialisable, never a copy
+                    hc = home.get(s)
+                    if hc is not None and hc != c and (s, c) not in paid:
+                        cost += ICC_COST
+                cost += fu_load[c][op.fu] / max(1, fu_cap[op.fu])
+                cost += 0.5 * tot_load[c] / cl.issue_width
+                if cost < best_cost - 1e-9:
+                    best_cost, best_c = cost, c
+            place(op, best_c)
+
+    return home
+
+
+def insert_icc(fn: Function, home: dict[int, int], cfg: MachineConfig) -> int:
+    """Insert transfer pseudo-ops for cross-cluster operands.
+
+    A transfer is represented as ``IROp(Opcode.RECV, dst=new_vreg,
+    srcs=[src_vreg], cluster=consumer)``; the source's home cluster
+    identifies the sending side.  One transfer per (value, cluster) is
+    reused within a block.  Constants are *rematerialised* (a cloned
+    MOV-immediate in the consuming cluster) instead of transferred.
+    Returns the number of genuine transfers inserted.
+    """
+    n_inserted = 0
+    consts = constant_vregs(fn)
+    for blk in fn.blocks:
+        # (vreg, cluster) -> local copy vreg
+        local: dict[tuple[int, int], int] = {}
+        new_ops: list[IROp] = []
+
+        def localise(op: IROp, ops_out: list[IROp]) -> None:
+            nonlocal n_inserted
+            for k, s in enumerate(op.srcs):
+                hc = home.get(s)
+                if hc is None or hc == op.cluster:
+                    continue
+                key = (s, op.cluster)
+                cp = local.get(key)
+                if cp is None:
+                    cp = fn.n_vregs
+                    fn.n_vregs += 1
+                    if s in consts:
+                        clone = IROp(
+                            Opcode.MOV,
+                            dst=cp,
+                            imm=consts[s],
+                            use_imm=True,
+                            cluster=op.cluster,
+                        )
+                        ops_out.append(clone)
+                    else:
+                        xfer = IROp(
+                            Opcode.RECV,
+                            dst=cp,
+                            srcs=[s],
+                            cluster=op.cluster,
+                        )
+                        ops_out.append(xfer)
+                        n_inserted += 1
+                    home[cp] = op.cluster
+                    local[key] = cp
+                op.srcs[k] = cp
+
+        for op in blk.ops:
+            # a redefinition invalidates cached copies of that vreg
+            localise(op, new_ops)
+            new_ops.append(op)
+            if op.dst is not None:
+                stale = [k for k in local if k[0] == op.dst]
+                for k in stale:
+                    del local[k]
+        if blk.terminator is not None and blk.terminator.srcs:
+            localise(blk.terminator, new_ops)
+        blk.ops = new_ops
+    fn._finalized = False
+    fn.finalize()
+    return n_inserted
+
+
+def check_assignment(fn: Function, home: dict[int, int]) -> None:
+    """Validate that every operand is local after ICC insertion."""
+    for blk in fn.blocks:
+        for op in blk.all_ops():
+            if op.cluster < 0:
+                raise AssignmentError(f"unassigned op {op}")
+            if op.opcode is Opcode.RECV:
+                continue  # reads remotely by design
+            for s in op.srcs:
+                if s in home and home[s] != op.cluster:
+                    raise AssignmentError(
+                        f"non-local operand v{s} (home {home[s]}) in {op} "
+                        f"at cluster {op.cluster}"
+                    )

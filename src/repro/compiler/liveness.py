@@ -1,0 +1,94 @@
+"""Backward liveness dataflow over the IR CFG.
+
+Computes live-in/live-out virtual-register sets per block, used by the
+register allocator and by the scheduler's cross-block latency padding.
+Branch virtual registers get their own analysis (same algorithm, other
+namespace).
+"""
+
+from __future__ import annotations
+
+from .ir import Function, IROp
+
+
+def _uses_defs(op: IROp) -> tuple[set[int], set[int]]:
+    uses = set(op.srcs)
+    defs = set()
+    if op.dst is not None:
+        defs.add(op.dst)
+    return uses, defs
+
+
+def _buses_bdefs(op: IROp) -> tuple[set[int], set[int]]:
+    uses = set()
+    defs = set()
+    if op.bsrc is not None:
+        uses.add(op.bsrc)
+    if op.bdst is not None:
+        defs.add(op.bdst)
+    return uses, defs
+
+
+class Liveness:
+    """Live-in/live-out sets for virtual and branch registers."""
+
+    def __init__(self, fn: Function):
+        fn.finalize()
+        self.fn = fn
+        self.use: dict[str, set[int]] = {}
+        self.defs: dict[str, set[int]] = {}
+        self.buse: dict[str, set[int]] = {}
+        self.bdefs: dict[str, set[int]] = {}
+        for blk in fn.blocks:
+            use: set[int] = set()
+            dfs: set[int] = set()
+            buse: set[int] = set()
+            bdfs: set[int] = set()
+            for op in blk.all_ops():
+                u, d = _uses_defs(op)
+                use |= u - dfs
+                dfs |= d
+                bu, bd = _buses_bdefs(op)
+                buse |= bu - bdfs
+                bdfs |= bd
+            self.use[blk.label] = use
+            self.defs[blk.label] = dfs
+            self.buse[blk.label] = buse
+            self.bdefs[blk.label] = bdfs
+        self.live_in: dict[str, set[int]] = {}
+        self.live_out: dict[str, set[int]] = {}
+        self.blive_in: dict[str, set[int]] = {}
+        self.blive_out: dict[str, set[int]] = {}
+        self._solve()
+
+    def _solve(self) -> None:
+        fn = self.fn
+        for blk in fn.blocks:
+            self.live_in[blk.label] = set()
+            self.live_out[blk.label] = set()
+            self.blive_in[blk.label] = set()
+            self.blive_out[blk.label] = set()
+        changed = True
+        # iterate to fixpoint; reverse layout order converges fast
+        while changed:
+            changed = False
+            for blk in reversed(fn.blocks):
+                lo: set[int] = set()
+                blo: set[int] = set()
+                for s in blk.succs:
+                    lo |= self.live_in[s]
+                    blo |= self.blive_in[s]
+                li = self.use[blk.label] | (lo - self.defs[blk.label])
+                bli = self.buse[blk.label] | (blo - self.bdefs[blk.label])
+                if lo != self.live_out[blk.label] or li != self.live_in[
+                    blk.label
+                ]:
+                    self.live_out[blk.label] = lo
+                    self.live_in[blk.label] = li
+                    changed = True
+                if blo != self.blive_out[blk.label] or bli != self.blive_in[
+                    blk.label
+                ]:
+                    self.blive_out[blk.label] = blo
+                    self.blive_in[blk.label] = bli
+                    changed = True

@@ -1,0 +1,98 @@
+"""Compilation driver: IR function -> executable VLIW :class:`Program`.
+
+Pass order (mirroring the Multiflow/VEX structure the paper describes):
+
+1. cluster assignment (BUG-style greedy, :mod:`.cluster_assign`);
+2. inter-cluster copy insertion;
+3. liveness + linear-scan register allocation (physical, per cluster);
+4. per-block latency-aware list scheduling into VLIW instructions;
+5. assembly: lay blocks out in order, resolve branch targets to
+   instruction indices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..arch.config import MachineConfig, PAPER_MACHINE
+from ..isa.program import DataSegment, Program
+from .builder import KernelBuilder
+from .cluster_assign import assign_clusters, check_assignment, insert_icc
+from .ir import Function
+from .liveness import Liveness
+from .regalloc import allocate
+from .scheduler import schedule_block
+
+
+class CompileResult:
+    """A compiled program plus compilation metadata."""
+
+    def __init__(self, program: Program, stats: dict[str, float]):
+        self.program = program
+        self.stats = stats
+
+
+def compile_function(
+    fn: Function,
+    data: DataSegment | None = None,
+    cfg: MachineConfig = PAPER_MACHINE,
+) -> CompileResult:
+    """Run the full backend on an IR function."""
+    fn.finalize()
+    home = assign_clusters(fn, cfg)
+    n_icc = insert_icc(fn, home, cfg)
+    check_assignment(fn, home)
+    allocation = allocate(fn, home, cfg)
+
+    live = Liveness(fn)  # physical-register liveness for block padding
+    scheduled = []
+    for blk in fn.blocks:
+        live_out = dict.fromkeys(live.live_out[blk.label], True)
+        scheduled.append(schedule_block(blk, cfg, live_out))
+
+    # lay out blocks and resolve branch targets
+    starts: dict[str, int] = {}
+    idx = 0
+    for sb in scheduled:
+        starts[sb.label] = idx
+        idx += len(sb.instructions)
+    total = idx
+
+    label_pos = {b.label: i for i, b in enumerate(fn.blocks)}
+
+    def resolve(label: str) -> int:
+        """Start instruction of a block, skipping empty blocks."""
+        i = label_pos[label]
+        while not scheduled[i].instructions:
+            i += 1
+            if i >= len(fn.blocks):
+                raise ValueError(f"branch target {label} beyond program end")
+        return starts[fn.blocks[i].label]
+
+    instructions = []
+    for sb in scheduled:
+        for k, ins in enumerate(sb.instructions):
+            if sb.branch_instr == k and sb.branch_label is not None:
+                tgt = resolve(sb.branch_label)
+                new_ops = [
+                    replace(op, target=tgt) if op.is_branch else op
+                    for op in ins.ops
+                ]
+                ins.ops = new_ops
+            instructions.append(ins)
+
+    program = Program(instructions, cfg.n_clusters, data, fn.name)
+    stats = program.static_stats()
+    stats["icc_transfers"] = float(n_icc)
+    stats["max_reg_pressure"] = float(
+        max(allocation.max_pressure.values(), default=0)
+    )
+    return CompileResult(program, stats)
+
+
+def compile_kernel(
+    builder: KernelBuilder, cfg: MachineConfig = PAPER_MACHINE
+) -> CompileResult:
+    """Finish a :class:`KernelBuilder` and compile it."""
+    fn, data = builder.finish()
+    return compile_function(fn, data, cfg)

@@ -1,0 +1,174 @@
+"""Linear-scan register allocation.
+
+Virtual registers are mapped to physical registers of their home
+cluster's register file.  The allocator is a classic Poletto/Sarkar
+linear scan over a conservative contiguous live interval per vreg
+(extended over every block where the value is live, which covers
+loop-carried values).  Kernels are written to fit the 64-register VEX
+files; running out of registers raises :class:`RegallocError` rather
+than spilling.
+
+Physical registers are returned *encoded* as ``cluster << 8 | index``
+so that downstream passes (the post-allocation DDG) can tell identically
+numbered registers of different clusters apart.  Branch registers live
+in a small shared file (``b0..b7``) and are allocated by the same scan.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from ..arch.config import MachineConfig
+from .ir import Function
+from .liveness import Liveness
+
+REG_SHIFT = 8
+
+
+class RegallocError(ValueError):
+    pass
+
+
+def encode_reg(cluster: int, index: int) -> int:
+    return cluster << REG_SHIFT | index
+
+
+def decode_reg(enc: int) -> tuple[int, int]:
+    return enc >> REG_SHIFT, enc & ((1 << REG_SHIFT) - 1)
+
+
+@dataclass
+class Interval:
+    vreg: int
+    start: int
+    end: int
+    cluster: int
+
+
+def _intervals(
+    fn: Function, live: Liveness, home: dict[int, int]
+) -> tuple[list[Interval], list[Interval]]:
+    """Conservative [min, max] position intervals for vregs and bregs."""
+    pos = 0
+    vstart: dict[int, int] = {}
+    vend: dict[int, int] = {}
+    bstart: dict[int, int] = {}
+    bend: dict[int, int] = {}
+
+    def touch(d_s, d_e, key, p) -> None:
+        if key not in d_s or p < d_s[key]:
+            d_s[key] = p
+        if key not in d_e or p > d_e[key]:
+            d_e[key] = p
+
+    for blk in fn.blocks:
+        blk_start = pos
+        for op in blk.all_ops():
+            for s in op.srcs:
+                touch(vstart, vend, s, pos)
+            if op.dst is not None:
+                touch(vstart, vend, op.dst, pos)
+            if op.bsrc is not None:
+                touch(bstart, bend, op.bsrc, pos)
+            if op.bdst is not None:
+                touch(bstart, bend, op.bdst, pos)
+            pos += 1
+        blk_end = pos - 1 if pos > blk_start else blk_start
+        for v in live.live_in[blk.label]:
+            touch(vstart, vend, v, blk_start)
+        for v in live.live_out[blk.label]:
+            touch(vstart, vend, v, blk_end)
+        for b in live.blive_in[blk.label]:
+            touch(bstart, bend, b, blk_start)
+        for b in live.blive_out[blk.label]:
+            touch(bstart, bend, b, blk_end)
+
+    vints = [
+        Interval(v, vstart[v], vend[v], home.get(v, 0)) for v in vstart
+    ]
+    bints = [Interval(b, bstart[b], bend[b], -1) for b in bstart]
+    vints.sort(key=lambda iv: (iv.start, iv.end, iv.vreg))
+    bints.sort(key=lambda iv: (iv.start, iv.end, iv.vreg))
+    return vints, bints
+
+
+def _scan(
+    intervals: list[Interval], n_regs: int, first: int, what: str
+) -> dict[int, int]:
+    """Allocate one register file; returns vreg -> index.
+
+    The free list is FIFO (least-recently-freed register first): eager
+    reuse of the most-recently-freed register would thread false WAR/WAW
+    dependences through otherwise independent operations and destroy the
+    ILP the scheduler needs.  Spreading over the 64-register VEX file is
+    the compile-time equivalent of register renaming.
+    """
+    assignment: dict[int, int] = {}
+    free = deque(range(first, n_regs))
+    active: list[Interval] = []
+    for iv in intervals:
+        still_active = []
+        for a in active:
+            if a.end >= iv.start:
+                still_active.append(a)
+            else:  # expired: recycle at the back of the FIFO
+                free.append(assignment[a.vreg])
+        active = still_active
+        if not free:
+            raise RegallocError(
+                f"out of {what} registers (need more than {n_regs - first})"
+            )
+        assignment[iv.vreg] = free.popleft()
+        active.append(iv)
+    return assignment
+
+
+class Allocation:
+    """Result of register allocation."""
+
+    def __init__(
+        self,
+        vreg_to_phys: dict[int, int],
+        breg_to_phys: dict[int, int],
+        max_pressure: dict[int, int],
+    ):
+        self.vreg_to_phys = vreg_to_phys  # vreg -> encoded (cluster, reg)
+        self.breg_to_phys = breg_to_phys
+        self.max_pressure = max_pressure  # cluster -> regs used
+
+
+def allocate(
+    fn: Function, home: dict[int, int], cfg: MachineConfig
+) -> Allocation:
+    """Allocate registers and rewrite the IR to physical (encoded) regs."""
+    fn.finalize()
+    live = Liveness(fn)
+    vints, bints = _intervals(fn, live, home)
+
+    # split vreg intervals by home cluster: independent register files
+    per_cluster: dict[int, list[Interval]] = {}
+    for iv in vints:
+        per_cluster.setdefault(iv.cluster, []).append(iv)
+
+    vmap: dict[int, int] = {}
+    pressure: dict[int, int] = {}
+    for c, ivs in per_cluster.items():
+        idx = _scan(ivs, cfg.cluster.n_regs, 1, f"cluster-{c} GPR")
+        pressure[c] = (max(idx.values()) if idx else 0)
+        for v, r in idx.items():
+            vmap[v] = encode_reg(c, r)
+
+    bmap = _scan(bints, cfg.n_branch_regs, 0, "branch")
+
+    # rewrite IR in place
+    for blk in fn.blocks:
+        for op in blk.all_ops():
+            op.srcs = [vmap[s] for s in op.srcs]
+            if op.dst is not None:
+                op.dst = vmap[op.dst]
+            if op.bsrc is not None:
+                op.bsrc = bmap[op.bsrc]
+            if op.bdst is not None:
+                op.bdst = bmap[op.bdst]
+    return Allocation(vmap, bmap, pressure)

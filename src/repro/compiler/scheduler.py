@@ -1,0 +1,262 @@
+"""Latency-aware list scheduling into VLIW instructions.
+
+Per basic block: build the post-allocation DDG, then greedily fill
+cycles in order, picking ready operations by critical-path height.  All
+compiler assumptions the paper relies on are enforced here:
+
+* per-cluster issue width and FU counts (4-issue: 4 ALU, 2 MUL, 1 MEM);
+* branch unit at cluster 0, at most one branch per instruction, and the
+  branch occupies the *last* instruction of its block;
+* 2-cycle compare-to-branch delay (DDG edge);
+* ICC transfer pseudo-ops expand into a ``SEND``/``RECV`` pair scheduled
+  in the same instruction (VEX semantics, paper §V-E), consuming one
+  issue slot in each of the two clusters;
+* cross-block latency padding: the block is extended with empty
+  instructions until every live-out value has completed, because the
+  machine is "less-than-or-equal" — hardware may be faster but never
+  slower than the compiler's latency assumption, so the *compiler* must
+  leave the gap.
+"""
+
+from __future__ import annotations
+
+from ..arch.config import MachineConfig
+from ..isa.opcodes import Opcode
+from ..isa.operation import Operation, VLIWInstruction
+from .ddg import DDG
+from .ir import BasicBlock, IROp
+from .regalloc import decode_reg
+
+
+class ScheduleError(ValueError):
+    pass
+
+
+class _CycleResources:
+    """Mutable per-cycle resource tracker (one instruction being built)."""
+
+    def __init__(self, cfg: MachineConfig):
+        cl = cfg.cluster
+        n = cfg.n_clusters
+        self.slots = [cl.issue_width] * n
+        self.alu = [cl.n_alu] * n
+        self.mul = [cl.n_mul] * n
+        self.mem = [cl.n_mem] * n
+        self.branch_free = True
+
+    def can_take(self, op: IROp) -> bool:
+        c = op.cluster
+        if op.opcode is Opcode.RECV:  # ICC transfer: slot in both clusters
+            src_c = decode_reg(op.srcs[0])[0]
+            if self.slots[c] < 1 or self.slots[src_c] < 1:
+                return False
+            return True
+        if self.slots[c] < 1:
+            return False
+        if op.is_branch:
+            return self.branch_free
+        fu = op.fu.name
+        if fu == "ALU":
+            return self.alu[c] >= 1
+        if fu == "MUL":
+            return self.mul[c] >= 1
+        if fu == "MEM":
+            return self.mem[c] >= 1
+        return True
+
+    def take(self, op: IROp) -> None:
+        c = op.cluster
+        if op.opcode is Opcode.RECV:
+            src_c = decode_reg(op.srcs[0])[0]
+            self.slots[c] -= 1
+            self.slots[src_c] -= 1
+            return
+        self.slots[c] -= 1
+        if op.is_branch:
+            self.branch_free = False
+            return
+        fu = op.fu.name
+        if fu == "ALU":
+            self.alu[c] -= 1
+        elif fu == "MUL":
+            self.mul[c] -= 1
+        elif fu == "MEM":
+            self.mem[c] -= 1
+
+
+def _lower(op: IROp, xfer_counter: list[int]) -> list[Operation]:
+    """Lower one scheduled IR op to ISA operations (physical regs)."""
+    if op.opcode is Opcode.RECV:
+        src_c, src_r = decode_reg(op.srcs[0])
+        dst_c, dst_r = decode_reg(op.dst)  # type: ignore[arg-type]
+        xid = xfer_counter[0]
+        xfer_counter[0] += 1
+        return [
+            Operation(
+                Opcode.SEND, cluster=src_c, srcs=(src_r,), xfer_id=xid
+            ),
+            Operation(
+                Opcode.RECV, cluster=dst_c, dst=dst_r, xfer_id=xid
+            ),
+        ]
+    srcs = tuple(decode_reg(s)[1] for s in op.srcs)
+    dst = None
+    if op.dst is not None:
+        dst = decode_reg(op.dst)[1]
+    if op.opcode is Opcode.CMPBR:
+        return [
+            Operation(
+                Opcode.CMPBR,
+                cluster=op.cluster,
+                dst=op.bdst,
+                srcs=srcs,
+                imm=op.imm,
+                use_imm=op.use_imm,
+                cmp_kind=op.cmp_kind,
+            )
+        ]
+    if op.is_branch:
+        # target resolved to an instruction index later; carry the label
+        # via the .target slot of the lowered operation (str -> int fixup)
+        return [
+            Operation(
+                op.opcode,
+                cluster=0,
+                imm=op.bsrc if op.bsrc is not None else 0,
+                target=-1,  # patched by the assembler
+            )
+        ]
+    return [
+        Operation(
+            op.opcode,
+            cluster=op.cluster,
+            dst=dst,
+            srcs=srcs,
+            imm=op.imm,
+            use_imm=op.use_imm,
+        )
+    ]
+
+
+class ScheduledBlock:
+    """Result of scheduling one block."""
+
+    def __init__(self, label: str, instructions: list[VLIWInstruction],
+                 branch_label: str | None, branch_instr: int | None):
+        self.label = label
+        self.instructions = instructions
+        #: label the final branch targets (None if no branch/halt-only)
+        self.branch_label = branch_label
+        #: index *within the block* of the instruction holding the branch
+        self.branch_instr = branch_instr
+
+
+def schedule_block(
+    blk: BasicBlock, cfg: MachineConfig, live_out_defs: dict[int, int]
+) -> ScheduledBlock:
+    """Schedule one block.
+
+    ``live_out_defs`` maps encoded physical registers that are live-out
+    of this block to nothing in particular (set semantics); it is used
+    for end-of-block latency padding.
+    """
+    ops = blk.all_ops()
+    if not ops:
+        return ScheduledBlock(blk.label, [], None, None)
+    ddg = DDG(ops, icc_latency=cfg.icc_latency)
+    n = len(ops)
+    sched_cycle = [-1] * n
+    n_preds_left = [len(nd.preds) for nd in ddg.nodes]
+    ready_at = [0] * n
+    # the terminator (if it is a branch) is placed after the main loop,
+    # in the block's final instruction
+    term_idx = n - 1 if ops[-1].is_branch else None
+
+    unscheduled = n - (1 if term_idx is not None else 0)
+    cycle = 0
+    per_cycle: list[list[int]] = []
+    resources: list[_CycleResources] = []
+    ready = [
+        i
+        for i in range(n)
+        if n_preds_left[i] == 0 and i != term_idx
+    ]
+
+    guard = 0
+    while unscheduled:
+        guard += 1
+        if guard > 10000 + 50 * n:
+            raise ScheduleError(f"scheduler stuck in block {blk.label}")
+        res = _CycleResources(cfg)
+        issued_now: list[int] = []
+        # candidates ready this cycle, highest critical path first
+        cands = sorted(
+            (i for i in ready if ready_at[i] <= cycle),
+            key=lambda i: (-ddg.nodes[i].height, i),
+        )
+        for i in cands:
+            op = ddg.nodes[i].op
+            if res.can_take(op):
+                res.take(op)
+                sched_cycle[i] = cycle
+                issued_now.append(i)
+        for i in issued_now:
+            ready.remove(i)
+            unscheduled -= 1
+            for t, lat in ddg.nodes[i].succs:
+                n_preds_left[t] -= 1
+                ready_at[t] = max(ready_at[t], cycle + lat)
+                if n_preds_left[t] == 0 and t != term_idx:
+                    ready.append(t)
+        per_cycle.append(issued_now)
+        resources.append(res)
+        cycle += 1
+
+    n_cycles = cycle
+    # end-of-block latency padding for live-out long-latency values
+    for i, op in enumerate(ops):
+        if (
+            op.dst is not None
+            and op.dst in live_out_defs
+            and sched_cycle[i] >= 0
+        ):
+            n_cycles = max(n_cycles, sched_cycle[i] + ddg._lat(i))
+
+    # place the terminator: last cycle, respecting its data readiness
+    if term_idx is not None:
+        t_cycle = max(ready_at[term_idx], n_cycles - 1, 0)
+        while True:
+            if t_cycle < len(resources):
+                res = resources[t_cycle]
+                if res.can_take(ops[term_idx]):
+                    res.take(ops[term_idx])
+                    break
+                t_cycle += 1
+            else:
+                break  # fresh (empty) cycle always fits a branch
+        sched_cycle[term_idx] = t_cycle
+        n_cycles = max(n_cycles, t_cycle + 1)
+        while len(per_cycle) <= t_cycle:
+            per_cycle.append([])
+        per_cycle[t_cycle].append(term_idx)
+
+    while len(per_cycle) < n_cycles:
+        per_cycle.append([])
+
+    # emit instructions
+    xfer_counter = [0]
+    instrs: list[VLIWInstruction] = []
+    branch_cycle = None
+    for cyc, idxs in enumerate(per_cycle):
+        lowered: list[Operation] = []
+        for i in idxs:
+            lowered.extend(_lower(ops[i], xfer_counter))
+            if i == term_idx:
+                branch_cycle = cyc
+        instrs.append(VLIWInstruction(lowered))
+
+    branch_label = None
+    if term_idx is not None:
+        t = ops[term_idx]
+        branch_label = t.target  # None for HALT
+    return ScheduledBlock(blk.label, instrs, branch_label, branch_cycle)

@@ -1,0 +1,45 @@
+"""The paper's contribution: SMT merging + split-issue for clustered VLIWs."""
+
+from .buffers import RollbackToken, SplitVM
+from .merging import MergeEngine
+from .policies import (
+    ALL_POLICIES,
+    BY_NAME,
+    CCSI_AS,
+    CCSI_NS,
+    COSI_AS,
+    COSI_NS,
+    CSMT,
+    OOSI_AS,
+    OOSI_NS,
+    SMT,
+    Policy,
+    get_policy,
+)
+from .priority import FixedPriority, RoundRobinPriority, make_priority
+from .renaming import renaming_value, renaming_vector
+from .splitstate import PendingInstruction
+
+__all__ = [
+    "RollbackToken",
+    "SplitVM",
+    "MergeEngine",
+    "ALL_POLICIES",
+    "BY_NAME",
+    "CCSI_AS",
+    "CCSI_NS",
+    "COSI_AS",
+    "COSI_NS",
+    "CSMT",
+    "OOSI_AS",
+    "OOSI_NS",
+    "SMT",
+    "Policy",
+    "get_policy",
+    "FixedPriority",
+    "RoundRobinPriority",
+    "make_priority",
+    "renaming_value",
+    "renaming_vector",
+    "PendingInstruction",
+]

@@ -1,0 +1,259 @@
+"""Functional model of the split-issue delay/write buffers (paper §V).
+
+The timing simulator only needs resource-level effects of split-issue,
+but the paper's correctness arguments (§II-A Fig. 3, §V-B Fig. 8) are
+about *dataflow*: if the parts of a VLIW instruction issue in different
+cycles, a naive implementation lets a later part observe an earlier
+part's writes, breaking the compiler's all-ops-read-old-state
+assumption, and makes precise exceptions impossible.
+
+:class:`SplitVM` executes one instruction *in parts* under two write
+policies:
+
+* ``"buffered"`` — every split-issued part writes its results into
+  per-thread buffers; all buffers commit to the register file / memory
+  when the **last part** issues (the paper's Fig. 8/9 organisation).
+  This matches atomic execution for *any* split granularity, and allows
+  rollback (precise exceptions) at any point before the last part.
+* ``"immediate"`` — parts write architectural state directly.  This is
+  the hardware you'd get without the buffers.  It is **still correct
+  for cluster-boundary splits** (bundles read and write disjoint
+  register files — the paper's core observation) but breaks for
+  operation-level splits that separate intra-cluster dependences like
+  the Fig. 3 register swap.
+
+The property tests in ``tests/test_split_semantics.py`` machine-check
+both claims against the atomic VM on randomly generated programs and
+random split schedules.
+"""
+
+from __future__ import annotations
+
+from ..isa.opcodes import STORES, Opcode
+from ..isa.operation import Operation
+from ..vm.machine import MASK32, VM, VMError
+
+
+class RollbackToken:
+    """Opaque snapshot allowing precise-exception rollback."""
+
+    def __init__(self, pc: int, regs, bregs, mem_writes_pending: int):
+        self.pc = pc
+        self.regs = regs
+        self.bregs = bregs
+        self.mem_writes_pending = mem_writes_pending
+
+
+class SplitVM(VM):
+    """VM variant that executes instructions split into parts."""
+
+    def __init__(self, program, mode: str = "buffered", **kw):
+        if mode not in ("buffered", "immediate"):
+            raise ValueError(f"bad mode {mode!r}")
+        super().__init__(program, **kw)
+        self.mode = mode
+        self._reset_buffers()
+
+    def _reset_buffers(self) -> None:
+        # register write buffer: (cluster, reg) -> value
+        self.reg_buffer: dict[tuple[int, int], int] = {}
+        self.breg_buffer: dict[int, int] = {}
+        # memory write buffer: list of (op, addr, value)
+        self.mem_buffer: list[tuple[Operation, int, int]] = []
+        # ICC network values captured at SEND issue: xfer_id -> value
+        self.icc_values: dict[int, int] = {}
+        # RECV issued before its SEND: xfer_id -> (cluster, dst reg)
+        self.icc_waiting: dict[int, tuple[int, int]] = {}
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> RollbackToken:
+        """Architectural state snapshot (taken before an instruction)."""
+        return RollbackToken(
+            self.pc,
+            [list(r) for r in self.regs],
+            list(self.bregs),
+            len(self.mem_buffer),
+        )
+
+    def rollback(self, tok: RollbackToken) -> None:
+        """Precise-exception rollback: discard all buffered split-issued
+        results and restore the pre-instruction state.
+
+        Only legal in ``buffered`` mode — which is the paper's point: in
+        ``immediate`` mode the split-issued parts have already mutated
+        the architectural state.
+        """
+        if self.mode != "buffered":
+            raise VMError(
+                "rollback requires the buffered (delay-buffer) "
+                "implementation"
+            )
+        self.pc = tok.pc
+        self.regs = [list(r) for r in tok.regs]
+        self.bregs = list(tok.bregs)
+        self._reset_buffers()
+
+    # ------------------------------------------------------------------
+    def _read_reg(self, cluster: int, reg: int) -> int:
+        # architectural read: buffers are invisible until commit
+        return self.regs[cluster][reg]
+
+    def _exec_part(self, ops: list[Operation], last: bool) -> tuple[bool, int]:
+        """Execute one part; returns (taken, next_pc_if_taken)."""
+        regs = self.regs
+        reg_writes: list[tuple[int, int, int]] = []
+        breg_writes: list[tuple[int, int]] = []
+        mem_writes: list[tuple[Operation, int, int]] = []
+        taken = False
+        next_pc = -1
+
+        for op in ops:  # SEND side of ICC first: capture network values
+            if op.opcode is Opcode.SEND:
+                self.icc_values[op.xfer_id] = self._read_reg(
+                    op.cluster, op.srcs[0]
+                )
+
+        for op in ops:
+            oc = op.opcode
+            c = op.cluster
+            if oc in (Opcode.SEND, Opcode.NOP):
+                continue
+            if oc is Opcode.RECV:
+                if op.xfer_id in self.icc_values:
+                    reg_writes.append(
+                        (c, op.dst, self.icc_values[op.xfer_id])
+                    )
+                else:
+                    # early recv: remember the destination, data arrives
+                    # when the SEND issues (paper §V-E)
+                    self.icc_waiting[op.xfer_id] = (c, op.dst)
+                continue
+            if op.is_mem:
+                base = regs[c][op.srcs[-1]]
+                addr = (base + op.imm) & MASK32
+                if oc in STORES:
+                    mem_writes.append((op, addr, regs[c][op.srcs[0]]))
+                else:
+                    reg_writes.append((c, op.dst, self.load(op, addr)))
+                continue
+            if oc is Opcode.CMPBR:
+                a = regs[c][op.srcs[0]]
+                b = op.imm if op.use_imm else regs[c][op.srcs[1]]
+                breg_writes.append(
+                    (op.dst, self.compare(Opcode(op.cmp_kind), a, b))
+                )
+                continue
+            if oc is Opcode.BR:
+                if self.bregs[op.imm]:
+                    taken, next_pc = True, op.target
+                continue
+            if oc is Opcode.BRF:
+                if not self.bregs[op.imm]:
+                    taken, next_pc = True, op.target
+                continue
+            if oc is Opcode.GOTO:
+                taken, next_pc = True, op.target
+                continue
+            if oc is Opcode.HALT:
+                self.halted = True
+                continue
+            a = regs[c][op.srcs[0]] if op.srcs else op.imm
+            b = (
+                op.imm
+                if op.use_imm
+                else (regs[c][op.srcs[1]] if len(op.srcs) > 1 else 0)
+            )
+            reg_writes.append((c, op.dst, self.alu(op, a, b)))
+
+        # resolve any early-recv destinations whose data just arrived
+        arrived = [
+            xid for xid in self.icc_waiting if xid in self.icc_values
+        ]
+        for xid in arrived:
+            c, r = self.icc_waiting.pop(xid)
+            reg_writes.append((c, r, self.icc_values[xid]))
+
+        if self.mode == "immediate" and not last:
+            # no buffers: split parts update architectural state directly
+            self._commit(reg_writes, breg_writes, mem_writes)
+        elif not last:
+            for c, r, v in reg_writes:
+                self.reg_buffer[(c, r)] = v & MASK32
+            for b, v in breg_writes:
+                self.breg_buffer[b] = v
+            self.mem_buffer.extend(mem_writes)
+        else:
+            # last part: its own writes commit directly, and the buffered
+            # results of earlier parts commit in the same cycle (Fig. 8)
+            buf_reg = [
+                (c, r, v) for (c, r), v in self.reg_buffer.items()
+            ]
+            buf_breg = list(self.breg_buffer.items())
+            self._commit(
+                buf_reg + reg_writes,
+                buf_breg + breg_writes,
+                self.mem_buffer + mem_writes,
+            )
+            self._reset_buffers()
+        return taken, next_pc
+
+    def _commit(self, reg_writes, breg_writes, mem_writes) -> None:
+        for c, r, v in reg_writes:
+            if r != 0:
+                self.regs[c][r] = v & MASK32
+        for b, v in breg_writes:
+            self.bregs[b] = v
+        for op, addr, v in mem_writes:
+            self.store(op, addr, v)
+
+    # ------------------------------------------------------------------
+    def step_split(self, parts: list[list[int]]) -> bool:
+        """Execute the instruction at ``pc`` split into ``parts``.
+
+        ``parts`` is a list of op-index groups (into ``ins.ops``), issued
+        in order; the final group is the last part.  Every op index must
+        appear exactly once.  Returns False when halted.
+        """
+        if self.halted:
+            return False
+        ins = self.program[self.pc]
+        seen = sorted(i for part in parts for i in part)
+        if seen != list(range(len(ins.ops))):
+            raise VMError(f"parts {parts} do not cover instruction ops")
+        # VEX pairs SEND with RECV in one instruction; a part must keep a
+        # SEND visible before its RECV *commits* — handled by icc_waiting.
+        taken = False
+        next_pc = self.pc + 1
+        for k, part in enumerate(parts):
+            ops = [ins.ops[i] for i in part]
+            t, npc = self._exec_part(ops, last=(k == len(parts) - 1))
+            if t:
+                taken, next_pc = True, npc
+        if self.icc_waiting:
+            raise VMError(
+                "RECV issued without its SEND in the same instruction"
+            )
+        self.instr_count += 1
+        self.op_count += len(ins.ops)
+        self.pc = next_pc
+        if self.pc >= len(self.program) and not self.halted:
+            raise VMError("fell off program end")
+        return not self.halted
+
+    def split_by_cluster(self, order: list[int] | None = None) -> list[list[int]]:
+        """Build a cluster-boundary split for the current instruction.
+
+        ``order`` optionally permutes cluster issue order.  Clusters
+        without ops are skipped.
+        """
+        ins = self.program[self.pc]
+        n_cl = self.program.n_clusters
+        order = list(range(n_cl)) if order is None else order
+        parts = []
+        for c in order:
+            part = [i for i, op in enumerate(ins.ops) if op.cluster == c]
+            if part:
+                parts.append(part)
+        if not parts:
+            parts = [[]]
+        return parts

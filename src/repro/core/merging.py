@@ -1,0 +1,221 @@
+"""Merge hardware model (paper Fig. 7) — one execution packet per cycle.
+
+The :class:`MergeEngine` models the collision-detection (CL) and merge
+(ML) logic: threads are offered to it in priority order and it
+accumulates the execution packet's resource state.  Three entry points
+correspond to the three split levels:
+
+* :meth:`try_whole`   — no split: the instruction merges in its entirety
+  or not at all (SMT/CSMT);
+* :meth:`try_bundles` — cluster-level split: each pending bundle merges
+  independently per cluster (CCSI/COSI); with cluster-level merging the
+  per-cluster check is a single free-bit test, which is why the paper's
+  Fig. 7(b) hardware is *simpler* than the unsplit version (no global
+  AND across clusters);
+* :meth:`try_ops`     — operation-level split (OOSI): any subset of the
+  pending operations may issue, greedily.
+
+The engine also produces the paper's *last-part* signal: callers learn
+whether the thread's instruction has now been merged in its entirety
+(needed by the write-buffer commit and the memory-port model).
+
+Merging level is selected by ``merge``:
+
+* ``"op"``      — operation-level conflicts (issue slots + FU counts),
+  checked with one SWAR subtract on packed usage vectors;
+* ``"cluster"`` — cluster-level conflicts (a cluster may be used by at
+  most one thread per cycle), checked with one AND of cluster masks.
+"""
+
+from __future__ import annotations
+
+from ..arch.config import MachineConfig
+from ..arch.resources import capacity_packed, guards_mask
+from .splitstate import PendingInstruction
+
+
+class MergeEngine:
+    """Per-cycle merge state.  Call :meth:`begin_cycle`, then offer
+    threads in priority order."""
+
+    __slots__ = (
+        "cfg",
+        "merge",
+        "capacity",
+        "guards",
+        "n_clusters",
+        "remaining",
+        "used_mask",
+        "mem_used_mask",
+        "slot_free",
+        "alu_free",
+        "mul_free",
+        "mem_free",
+    )
+
+    def __init__(self, cfg: MachineConfig, merge: str):
+        if merge not in ("op", "cluster"):
+            raise ValueError(f"merge must be 'op' or 'cluster', got {merge}")
+        self.cfg = cfg
+        self.merge = merge
+        self.capacity = capacity_packed(cfg)
+        self.guards = guards_mask(cfg.n_clusters)
+        self.n_clusters = cfg.n_clusters
+        self.begin_cycle()
+
+    def begin_cycle(self) -> None:
+        self.remaining = self.capacity
+        self.used_mask = 0
+        self.mem_used_mask = 0
+        cl = self.cfg.cluster
+        n = self.n_clusters
+        # per-cluster counters for the op-level greedy fill
+        self.slot_free = [cl.issue_width] * n
+        self.alu_free = [cl.n_alu] * n
+        self.mul_free = [cl.n_mul] * n
+        self.mem_free = [cl.n_mem] * n
+
+    # ------------------------------------------------------------------
+    def _fits_op_level(self, packed: int) -> bool:
+        return ((self.remaining | self.guards) - packed) & self.guards == (
+            self.guards
+        )
+
+    def _take_packed(self, packed: int, cmask: int, mem_cmask: int) -> None:
+        self.remaining -= packed
+        self.used_mask |= cmask
+        self.mem_used_mask |= mem_cmask
+        # keep the scalar counters coherent for mixed use
+        for c in range(self.n_clusters):
+            lane = (packed >> (16 * c)) & 0xFFFF
+            if lane:
+                self.slot_free[c] -= lane & 0x7
+                self.alu_free[c] -= (lane >> 4) & 0x7
+                self.mul_free[c] -= (lane >> 8) & 0x7
+                self.mem_free[c] -= (lane >> 12) & 0x7
+
+    # ------------------------------------------------------------------
+    def try_whole(self, pend: PendingInstruction) -> bool:
+        """Offer a complete instruction (no-split policies).
+
+        Returns True (and consumes resources) iff it merges.
+        """
+        st, i = pend.table, pend.static_index
+        if self.merge == "cluster":
+            if st.cmask[i] & self.used_mask:
+                return False
+        else:
+            if not self._fits_op_level(st.packed[i]):
+                return False
+        self._take_packed(st.packed[i], st.cmask[i], st.mem_cmask[i])
+        pend.issue_all()
+        return True
+
+    def try_bundles(self, pend: PendingInstruction) -> tuple[int, int]:
+        """Offer the pending bundles of a cluster-level-split thread.
+
+        Returns ``(issued_cluster_mask, ops_issued)``.  Honors the NS
+        policy via ``pend.atomic`` (ICC instructions merge whole or not
+        at all).
+        """
+        st, i = pend.table, pend.static_index
+        pending = pend.pending_mask
+        if pend.atomic:
+            # behave like try_whole but restricted to the pending part
+            if self.merge == "cluster":
+                if pending & self.used_mask:
+                    return 0, 0
+            else:
+                if not self._fits_op_level(st.packed[i]):
+                    return 0, 0
+            self._take_packed(st.packed[i], pending, st.mem_cmask[i])
+            ops = pend.ops_remaining
+            pend.issue_all()
+            return pending, ops
+
+        issued_mask = 0
+        ops = 0
+        b_packed = st.bundle_packed[i]
+        b_nops = st.bundle_nops[i]
+        for c in range(self.n_clusters):
+            if not (pending >> c) & 1:
+                continue
+            if self.merge == "cluster":
+                if (self.used_mask >> c) & 1:
+                    continue
+            else:
+                if not self._fits_op_level(b_packed[c]):
+                    continue
+            self._take_packed(
+                b_packed[c], 1 << c, st.mem_cmask[i] & (1 << c)
+            )
+            issued_mask |= 1 << c
+            ops += b_nops[c]
+        if issued_mask:
+            pend.issue_clusters(issued_mask)
+        return issued_mask, ops
+
+    def try_ops(self, pend: PendingInstruction) -> tuple[int, int, int]:
+        """Offer individual pending operations (OOSI).
+
+        Returns ``(ops_issued, issued_cluster_mask, issued_mem_mask)``;
+        updates ``pend``.
+        """
+        st, i = pend.table, pend.static_index
+        if pend.atomic:
+            if not self._fits_op_level(st.packed[i]):
+                return 0, 0, 0
+            self._take_packed(st.packed[i], st.cmask[i], st.mem_cmask[i])
+            ops = pend.ops_remaining
+            pend.issue_all()
+            return ops, st.cmask[i], st.mem_cmask[i]
+
+        issued = 0
+        issued_cmask = 0
+        issued_mem = 0
+        still = []
+        slot_free = self.slot_free
+        alu_free = self.alu_free
+        mul_free = self.mul_free
+        mem_free = self.mem_free
+        for desc in pend.pending_ops:
+            c, fu, is_mem = desc
+            if slot_free[c] >= 1:
+                if fu == 0 and alu_free[c] >= 1:  # ALU
+                    alu_free[c] -= 1
+                elif fu == 1 and mul_free[c] >= 1:  # MUL
+                    mul_free[c] -= 1
+                elif fu == 2 and mem_free[c] >= 1:  # MEM
+                    mem_free[c] -= 1
+                elif fu in (3, 4):  # BRANCH / COPY: slot only
+                    pass
+                else:
+                    still.append(desc)
+                    continue
+                slot_free[c] -= 1
+                self.used_mask |= 1 << c
+                issued_cmask |= 1 << c
+                if is_mem:
+                    self.mem_used_mask |= 1 << c
+                    issued_mem |= 1 << c
+                issued += 1
+                pend.note_op_issued(c, is_mem)
+            else:
+                still.append(desc)
+        pend.pending_ops = still
+        # keep packed remaining coherent (used by atomic checks later in
+        # the same cycle for other threads)
+        if issued:
+            self._resync_packed()
+        return issued, issued_cmask, issued_mem
+
+    def _resync_packed(self) -> None:
+        packed = 0
+        for c in range(self.n_clusters):
+            packed |= (
+                (self.slot_free[c] & 0x7)
+                | (self.alu_free[c] & 0x7) << 4
+                | (self.mul_free[c] & 0x7) << 8
+                | (self.mem_free[c] & 0x7) << 12
+            ) << (16 * c)
+        self.remaining = packed

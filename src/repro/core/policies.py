@@ -1,0 +1,90 @@
+"""Multithreading / split-issue policy descriptors.
+
+The paper's configuration space (Fig. 4 plus the two inter-cluster
+communication models of §VI-B):
+
+==========  ===========  ===========  ==================================
+policy      merge level  split level  notes
+==========  ===========  ===========  ==================================
+ST          —            —            single thread (baseline, Fig. 13a)
+CSMT        cluster      none         Gupta et al., ICCD'07
+SMT         op           none         classic SMT merging
+CCSI        cluster      cluster      **this paper**
+COSI        op           cluster      **this paper**
+OOSI        op           op           prior split-issue (Rau'93/Iyer'04)
+==========  ===========  ===========  ==================================
+
+Each split-capable policy exists in an ``NS`` ("no split communication":
+instructions containing SEND/RECV issue atomically) and an ``AS``
+("always split": extra buffering hardware makes early-``recv`` safe)
+variant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Policy:
+    """One multithreading configuration."""
+
+    name: str
+    merge: str  # 'op' | 'cluster'
+    split: str  # 'none' | 'cluster' | 'op'
+    comm_split: bool  # True = AS, False = NS
+
+    def __post_init__(self) -> None:
+        if self.merge not in ("op", "cluster"):
+            raise ValueError(f"bad merge level {self.merge!r}")
+        if self.split not in ("none", "cluster", "op"):
+            raise ValueError(f"bad split level {self.split!r}")
+        if self.merge == "cluster" and self.split == "op":
+            # paper Fig. 4: operation-level split makes sense only with
+            # operation-level merging
+            raise ValueError(
+                "operation-level split with cluster-level merging is not "
+                "a meaningful configuration (paper Fig. 4)"
+            )
+
+    @property
+    def uses_split(self) -> bool:
+        return self.split != "none"
+
+    @property
+    def comm_label(self) -> str:
+        return "AS" if self.comm_split else "NS"
+
+
+# The eight configurations evaluated in Figs. 14-16 (plus ST).
+CSMT = Policy("CSMT", merge="cluster", split="none", comm_split=False)
+SMT = Policy("SMT", merge="op", split="none", comm_split=False)
+CCSI_NS = Policy("CCSI NS", merge="cluster", split="cluster", comm_split=False)
+CCSI_AS = Policy("CCSI AS", merge="cluster", split="cluster", comm_split=True)
+COSI_NS = Policy("COSI NS", merge="op", split="cluster", comm_split=False)
+COSI_AS = Policy("COSI AS", merge="op", split="cluster", comm_split=True)
+OOSI_NS = Policy("OOSI NS", merge="op", split="op", comm_split=False)
+OOSI_AS = Policy("OOSI AS", merge="op", split="op", comm_split=True)
+
+ALL_POLICIES = [
+    CSMT,
+    CCSI_NS,
+    CCSI_AS,
+    SMT,
+    COSI_NS,
+    COSI_AS,
+    OOSI_NS,
+    OOSI_AS,
+]
+
+BY_NAME = {p.name: p for p in ALL_POLICIES}
+
+
+def get_policy(name: str) -> Policy:
+    """Look up a policy by its paper name (e.g. ``"CCSI AS"``)."""
+    try:
+        return BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown policy {name!r}; choose from {sorted(BY_NAME)}"
+        ) from None

@@ -1,0 +1,46 @@
+"""Thread merge-priority policies.
+
+The paper rotates priorities round-robin every cycle: "A different
+priority is assigned to each selected thread in a round robin way every
+cycle" (§VI-A).  A fixed-priority variant is provided for the ablation
+bench (it starves low-priority threads and biases speedups).
+"""
+
+from __future__ import annotations
+
+
+class RoundRobinPriority:
+    """Cycle ``t``: order = [t % n, (t % n)+1, ..., wrapping]."""
+
+    name = "round-robin"
+
+    def __init__(self, n_threads: int):
+        self.n = n_threads
+        # precompute all rotations; the per-cycle cost is one indexing
+        self._orders = [
+            tuple((r + k) % n_threads for k in range(n_threads))
+            for r in range(n_threads)
+        ]
+
+    def order(self, cycle: int) -> tuple[int, ...]:
+        return self._orders[cycle % self.n]
+
+
+class FixedPriority:
+    """Thread 0 always wins (ablation only)."""
+
+    name = "fixed"
+
+    def __init__(self, n_threads: int):
+        self._order = tuple(range(n_threads))
+
+    def order(self, cycle: int) -> tuple[int, ...]:
+        return self._order
+
+
+def make_priority(kind: str, n_threads: int):
+    if kind == "round-robin":
+        return RoundRobinPriority(n_threads)
+    if kind == "fixed":
+        return FixedPriority(n_threads)
+    raise ValueError(f"unknown priority policy {kind!r}")

@@ -1,0 +1,29 @@
+"""Cluster renaming (paper §IV, from the CSMT paper).
+
+Cluster renaming statically rotates each hardware thread's compiler
+cluster assignment so that concurrent threads do not all hammer the
+compiler's favourite cluster (BUG biases toward low-numbered clusters).
+"The renaming value of each thread is a fixed number computed at design
+time ... in a 4-thread 4-cluster machine, Thread 0 is rotated by 0,
+Thread 1 by 1, Thread 2 by 2, and Thread 3 by 3" — i.e. thread ``i`` is
+rotated by ``i`` (mod the cluster count).  For a 2-thread machine this
+gives rotations (0, 1): adjacent rotations keep *partial* cluster
+overlap between threads, which is precisely the situation split-issue
+exploits (disjoint assignments would merge under plain CSMT already).
+"""
+
+from __future__ import annotations
+
+
+def renaming_value(thread: int, n_threads: int, n_clusters: int) -> int:
+    """Design-time rotation amount for one hardware thread slot."""
+    if not 0 <= thread < n_threads:
+        raise ValueError(f"thread {thread} out of range [0, {n_threads})")
+    return thread % n_clusters
+
+
+def renaming_vector(n_threads: int, n_clusters: int) -> list[int]:
+    """Rotation for every hardware thread slot."""
+    return [
+        renaming_value(t, n_threads, n_clusters) for t in range(n_threads)
+    ]

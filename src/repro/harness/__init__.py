@@ -1,0 +1,45 @@
+"""Experiment harness: workloads, runner, and per-figure regenerators."""
+
+from .claims import Claim, evaluate_claims, render_claims
+from .experiment import (
+    DEFAULT_SCALE,
+    QUICK_SCALE,
+    ExperimentRunner,
+    ExperimentScale,
+    default_runner,
+    with_quick_scale,
+)
+from .figures import (
+    FIG16_POLICIES,
+    fig13a,
+    fig14,
+    fig15,
+    fig16,
+    render_fig13a,
+    render_fig16,
+    render_speedup_table,
+)
+from .workloads import WORKLOAD_ORDER, WORKLOADS, validate_workloads
+
+__all__ = [
+    "Claim",
+    "evaluate_claims",
+    "render_claims",
+    "DEFAULT_SCALE",
+    "QUICK_SCALE",
+    "ExperimentRunner",
+    "ExperimentScale",
+    "default_runner",
+    "with_quick_scale",
+    "FIG16_POLICIES",
+    "fig13a",
+    "fig14",
+    "fig15",
+    "fig16",
+    "render_fig13a",
+    "render_fig16",
+    "render_speedup_table",
+    "WORKLOAD_ORDER",
+    "WORKLOADS",
+    "validate_workloads",
+]

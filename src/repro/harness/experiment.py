@@ -1,0 +1,126 @@
+"""Experiment runner: the policy x workload x thread-count matrix.
+
+Results are memoised per process so the figure generators (Figs. 14-16
+share the same underlying runs) trigger each simulation once.  All runs
+use the same seed, so policy comparisons see identical context-switch
+schedules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..arch.config import PAPER_MACHINE, MachineConfig
+from ..core.policies import ALL_POLICIES, Policy, get_policy
+from ..kernels.suite import get_trace
+from ..pipeline.processor import Processor, SimParams
+from ..pipeline.stats import SimStats
+from .workloads import WORKLOADS
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Scaling knobs for the whole experiment matrix.
+
+    The paper runs 200 M instructions with 5 M-cycle timeslices; the
+    defaults here keep a full Figs. 13-16 regeneration to a few minutes
+    of pure Python while preserving the multitasking structure
+    (hundreds of context switches per run).
+    """
+
+    kernel_scale: float = 1.0
+    target_instructions: int = 40_000
+    timeslice: int = 10_000
+    max_cycles: int = 5_000_000
+    seed: int = 12345
+
+
+DEFAULT_SCALE = ExperimentScale()
+QUICK_SCALE = ExperimentScale(
+    kernel_scale=0.3, target_instructions=6_000, timeslice=3_000
+)
+
+
+class ExperimentRunner:
+    """Runs and memoises the simulation matrix."""
+
+    def __init__(
+        self,
+        scale: ExperimentScale = DEFAULT_SCALE,
+        cfg: MachineConfig = PAPER_MACHINE,
+    ):
+        self.scale = scale
+        self.cfg = cfg
+        self._cache: dict[tuple[str, str, int], SimStats] = {}
+
+    def _params(self) -> SimParams:
+        s = self.scale
+        return SimParams(
+            target_instructions=s.target_instructions,
+            timeslice=s.timeslice,
+            max_cycles=s.max_cycles,
+            seed=s.seed,
+        )
+
+    def run(
+        self, policy: Policy | str, workload: str, n_threads: int
+    ) -> SimStats:
+        """One cell of the matrix (memoised)."""
+        if isinstance(policy, str):
+            policy = get_policy(policy)
+        key = (policy.name, workload, n_threads)
+        if key not in self._cache:
+            bundles = [
+                get_trace(name, self.scale.kernel_scale, self.cfg)
+                for name in WORKLOADS[workload]
+            ]
+            proc = Processor(
+                policy, bundles, n_threads, self.cfg, self._params()
+            )
+            self._cache[key] = proc.run()
+        return self._cache[key]
+
+    def ipc(self, policy: Policy | str, workload: str, n_threads: int) -> float:
+        return self.run(policy, workload, n_threads).ipc
+
+    def speedup(
+        self,
+        policy: Policy | str,
+        baseline: Policy | str,
+        workload: str,
+        n_threads: int,
+    ) -> float:
+        """Percent IPC speedup of ``policy`` over ``baseline``."""
+        p = self.ipc(policy, workload, n_threads)
+        b = self.ipc(baseline, workload, n_threads)
+        return 100.0 * (p / b - 1.0)
+
+    def average_ipc(self, policy: Policy | str, n_threads: int) -> float:
+        """Mean IPC over all nine workloads (the paper's Fig. 16 bars)."""
+        vals = [self.ipc(policy, w, n_threads) for w in WORKLOADS]
+        return sum(vals) / len(vals)
+
+    def run_everything(self, n_threads_list=(2, 4)) -> None:
+        """Populate the full matrix (8 policies x 9 workloads x |T|)."""
+        for nt in n_threads_list:
+            for pol in ALL_POLICIES:
+                for w in WORKLOADS:
+                    self.run(pol, w, nt)
+
+
+_default_runner: ExperimentRunner | None = None
+
+
+def default_runner(scale: ExperimentScale | None = None) -> ExperimentRunner:
+    """Process-wide shared runner (figures share simulation results)."""
+    global _default_runner
+    if _default_runner is None or (
+        scale is not None and _default_runner.scale != scale
+    ):
+        _default_runner = ExperimentRunner(scale or DEFAULT_SCALE)
+    return _default_runner
+
+
+def with_quick_scale() -> ExperimentRunner:
+    """Small-but-meaningful matrix for smoke tests and CI."""
+    return ExperimentRunner(QUICK_SCALE)

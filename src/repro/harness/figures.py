@@ -1,0 +1,171 @@
+"""Regenerators for every table and figure in the paper's evaluation.
+
+Each ``fig*`` function returns structured rows *and* can render the
+paper-formatted text table.  The mapping to the paper:
+
+* :func:`fig13a` — benchmark table: ILP class, IPCr, IPCp;
+* :func:`fig14`  — CCSI speedup over CSMT, {2T, 4T} x {NS, AS}, 9
+  workloads + average;
+* :func:`fig15`  — COSI and OOSI speedups over SMT, same axes;
+* :func:`fig16`  — absolute average IPC of all eight multithreading
+  configurations for 2T and 4T.
+"""
+
+from __future__ import annotations
+
+from ..kernels.suite import BENCH_ORDER, get_meta, get_trace
+from ..pipeline.processor import run_single_thread
+from .experiment import DEFAULT_SCALE, ExperimentRunner, default_runner
+from .workloads import WORKLOAD_ORDER
+
+#: Fig. 16 bar order (the paper's legend order)
+FIG16_POLICIES = [
+    "CSMT",
+    "CCSI NS",
+    "CCSI AS",
+    "SMT",
+    "COSI NS",
+    "COSI AS",
+    "OOSI NS",
+    "OOSI AS",
+]
+
+
+def fig13a(scale: float | None = None, runner: ExperimentRunner | None = None):
+    """Per-benchmark single-thread IPC with real and perfect memory."""
+    runner = runner or default_runner()
+    kernel_scale = scale if scale is not None else runner.scale.kernel_scale
+    rows = []
+    for name in BENCH_ORDER:
+        meta = get_meta(name)
+        tr = get_trace(name, kernel_scale, runner.cfg)
+        ipcr = run_single_thread(tr, runner.cfg).ipc
+        ipcp = run_single_thread(tr, runner.cfg, perfect_memory=True).ipc
+        rows.append(
+            {
+                "benchmark": name,
+                "ilp": meta.ilp_class,
+                "description": meta.description,
+                "ipcr": ipcr,
+                "ipcp": ipcp,
+                "paper_ipcr": meta.paper_ipcr,
+                "paper_ipcp": meta.paper_ipcp,
+            }
+        )
+    return rows
+
+
+def render_fig13a(rows) -> str:
+    out = [
+        "Fig. 13a: Benchmarks (single-thread IPC, real vs perfect memory)",
+        f"{'benchmark':12s} {'ILP':>3s} {'IPCr':>6s} {'IPCp':>6s} "
+        f"{'paper r':>8s} {'paper p':>8s}",
+    ]
+    for r in rows:
+        out.append(
+            f"{r['benchmark']:12s} {r['ilp']:>3s} {r['ipcr']:6.2f} "
+            f"{r['ipcp']:6.2f} {r['paper_ipcr']:8.2f} {r['paper_ipcp']:8.2f}"
+        )
+    return "\n".join(out)
+
+
+def fig14(runner: ExperimentRunner | None = None):
+    """CCSI speedup over CSMT (%), {NS, AS} x {2T, 4T} per workload."""
+    runner = runner or default_runner()
+    rows = []
+    for nt in (2, 4):
+        for w in WORKLOAD_ORDER:
+            rows.append(
+                {
+                    "threads": nt,
+                    "workload": w,
+                    "NS": runner.speedup("CCSI NS", "CSMT", w, nt),
+                    "AS": runner.speedup("CCSI AS", "CSMT", w, nt),
+                }
+            )
+        rows.append(
+            {
+                "threads": nt,
+                "workload": "avg",
+                "NS": _avg_speedup(runner, "CCSI NS", "CSMT", nt),
+                "AS": _avg_speedup(runner, "CCSI AS", "CSMT", nt),
+            }
+        )
+    return rows
+
+
+def fig15(runner: ExperimentRunner | None = None):
+    """COSI and OOSI speedups over SMT (%), per workload."""
+    runner = runner or default_runner()
+    rows = []
+    for nt in (2, 4):
+        for w in WORKLOAD_ORDER:
+            rows.append(
+                {
+                    "threads": nt,
+                    "workload": w,
+                    "COSI NS": runner.speedup("COSI NS", "SMT", w, nt),
+                    "COSI AS": runner.speedup("COSI AS", "SMT", w, nt),
+                    "OOSI NS": runner.speedup("OOSI NS", "SMT", w, nt),
+                    "OOSI AS": runner.speedup("OOSI AS", "SMT", w, nt),
+                }
+            )
+        rows.append(
+            {
+                "threads": nt,
+                "workload": "avg",
+                "COSI NS": _avg_speedup(runner, "COSI NS", "SMT", nt),
+                "COSI AS": _avg_speedup(runner, "COSI AS", "SMT", nt),
+                "OOSI NS": _avg_speedup(runner, "OOSI NS", "SMT", nt),
+                "OOSI AS": _avg_speedup(runner, "OOSI AS", "SMT", nt),
+            }
+        )
+    return rows
+
+
+def fig16(runner: ExperimentRunner | None = None):
+    """Average IPC of every multithreading technique, 2T and 4T."""
+    runner = runner or default_runner()
+    rows = []
+    for nt in (2, 4):
+        for pol in FIG16_POLICIES:
+            rows.append(
+                {
+                    "threads": nt,
+                    "policy": pol,
+                    "ipc": runner.average_ipc(pol, nt),
+                }
+            )
+    return rows
+
+
+def _avg_speedup(
+    runner: ExperimentRunner, policy: str, baseline: str, nt: int
+) -> float:
+    vals = [
+        runner.speedup(policy, baseline, w, nt) for w in WORKLOAD_ORDER
+    ]
+    return sum(vals) / len(vals)
+
+
+def render_speedup_table(rows, columns) -> str:
+    header = f"{'T':>2s} {'workload':>9s} " + " ".join(
+        f"{c:>9s}" for c in columns
+    )
+    out = [header]
+    for r in rows:
+        out.append(
+            f"{r['threads']:2d} {r['workload']:>9s} "
+            + " ".join(f"{r[c]:8.1f}%" for c in columns)
+        )
+    return "\n".join(out)
+
+
+def render_fig16(rows) -> str:
+    out = ["Fig. 16: average IPC of all multithreading techniques"]
+    for nt in (2, 4):
+        out.append(f"--- {nt}-Thread ---")
+        for r in rows:
+            if r["threads"] == nt:
+                out.append(f"  {r['policy']:8s} {r['ipc']:5.2f}")
+    return "\n".join(out)

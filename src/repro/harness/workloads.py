@@ -1,0 +1,39 @@
+"""The paper's multiprogrammed workloads (Fig. 13b).
+
+Nine 4-benchmark mixes covering representative ILP-degree combinations
+(`l` = low, `m` = medium, `h` = high IPC), reproduced verbatim from the
+paper.
+"""
+
+from __future__ import annotations
+
+from ..kernels.suite import SUITE
+
+#: Fig. 13b, in the paper's row order
+WORKLOADS: dict[str, tuple[str, str, str, str]] = {
+    "llll": ("mcf", "bzip2", "blowfish", "gsmencode"),
+    "lmmh": ("bzip2", "cjpeg", "djpeg", "imgpipe"),
+    "mmmm": ("g721encode", "g721decode", "cjpeg", "djpeg"),
+    "llmm": ("gsmencode", "blowfish", "g721encode", "djpeg"),
+    "llmh": ("mcf", "blowfish", "cjpeg", "x264"),
+    "llhh": ("mcf", "blowfish", "x264", "idct"),
+    "lmhh": ("gsmencode", "g721encode", "imgpipe", "colorspace"),
+    "mmhh": ("djpeg", "g721decode", "idct", "colorspace"),
+    "hhhh": ("x264", "idct", "imgpipe", "colorspace"),
+}
+
+WORKLOAD_ORDER = list(WORKLOADS)
+
+
+def validate_workloads() -> None:
+    """Sanity-check that every workload references known benchmarks and
+    its name matches the ILP classes of its members (paper Fig. 13b)."""
+    for name, members in WORKLOADS.items():
+        classes = sorted(SUITE[m][0].ilp_class for m in members)
+        if sorted(name) != classes:
+            raise ValueError(
+                f"workload {name}: classes {classes} do not match its name"
+            )
+
+
+validate_workloads()

@@ -1,0 +1,36 @@
+"""VEX-like clustered VLIW instruction set (operations, bundles, programs)."""
+
+from .opcodes import (
+    BRANCHES,
+    CMP_TO_BRANCH_DELAY,
+    COMPARES,
+    FU_OF,
+    INFO,
+    LOADS,
+    MEMOPS,
+    STORES,
+    FUClass,
+    Opcode,
+    OpcodeInfo,
+)
+from .operation import Bundle, Operation, VLIWInstruction
+from .program import DataSegment, Program
+
+__all__ = [
+    "BRANCHES",
+    "CMP_TO_BRANCH_DELAY",
+    "COMPARES",
+    "FU_OF",
+    "INFO",
+    "LOADS",
+    "MEMOPS",
+    "STORES",
+    "FUClass",
+    "Opcode",
+    "OpcodeInfo",
+    "Bundle",
+    "Operation",
+    "VLIWInstruction",
+    "DataSegment",
+    "Program",
+]

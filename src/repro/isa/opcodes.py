@@ -1,0 +1,169 @@
+"""Opcode definitions for the VEX-like ISA.
+
+The ISA models the 32-bit integer clustered VLIW described in the paper's
+Section IV (VEX, modeled on the HP/ST ST200 family):
+
+* An *operation* is the basic execution unit (one RISC-like op).
+* The operations scheduled at one cluster in one cycle form a *bundle*.
+* The set of bundles forms the *VLIW instruction*.
+
+Functional-unit classes follow the paper's 4-issue cluster: 4 ALUs,
+2 multipliers, 1 load/store unit per cluster, plus a branch unit (cluster
+0 only) and the inter-cluster copy network (``send``/``recv``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class FUClass(enum.IntEnum):
+    """Functional unit class an operation executes on."""
+
+    ALU = 0
+    MUL = 1
+    MEM = 2
+    BRANCH = 3
+    COPY = 4  # inter-cluster send/recv port
+
+
+class Opcode(enum.IntEnum):
+    """All operations understood by the compiler, VM and timing model."""
+
+    # ALU (latency 1)
+    ADD = 0
+    SUB = 1
+    AND = 2
+    OR = 3
+    XOR = 4
+    SHL = 5
+    SHR = 6    # logical shift right
+    SRA = 7    # arithmetic shift right
+    MOV = 8    # reg/imm move
+    MIN = 9
+    MAX = 10
+    CMPEQ = 11
+    CMPNE = 12
+    CMPLT = 13  # signed
+    CMPLE = 14
+    CMPGT = 15
+    CMPGE = 16
+    CMPLTU = 17  # unsigned
+    CMPGEU = 18
+    SXTB = 19   # sign extend byte
+    SXTH = 20   # sign extend half
+    ZXTB = 21
+    ZXTH = 22
+    ABS = 23
+    NOT = 24
+
+    # Multiplier (latency 2)
+    MPY = 30
+    MPYH = 31    # high 32 bits of signed 64-bit product
+    MPYSHR15 = 32  # (a*b)>>15, common fixed-point idiom
+
+    # Memory (latency 2 on hit)
+    LDW = 40
+    LDH = 41
+    LDHU = 42
+    LDB = 43
+    LDBU = 44
+    STW = 45
+    STH = 46
+    STB = 47
+
+    # Branch unit (cluster 0 only)
+    BR = 50      # conditional branch on branch register
+    BRF = 51     # branch if false
+    GOTO = 52    # unconditional jump
+    HALT = 53    # stop the program
+
+    # Compare-to-branch-register (executes on ALU, writes branch register)
+    CMPBR = 55
+
+    # Inter-cluster copy pair. SEND reads a register and puts it on the
+    # ICC network; RECV writes the network value to a register.  VEX
+    # semantics require the pair to be scheduled in the same instruction.
+    SEND = 60
+    RECV = 61
+
+    # Pseudo-op used by the scheduler for empty slots; never executed.
+    NOP = 63
+
+
+#: Opcode -> functional unit class.
+FU_OF: dict[Opcode, FUClass] = {}
+for _op in Opcode:
+    if Opcode.MPY <= _op <= Opcode.MPYSHR15:
+        FU_OF[_op] = FUClass.MUL
+    elif Opcode.LDW <= _op <= Opcode.STB:
+        FU_OF[_op] = FUClass.MEM
+    elif Opcode.BR <= _op <= Opcode.HALT:
+        FU_OF[_op] = FUClass.BRANCH
+    elif _op in (Opcode.SEND, Opcode.RECV):
+        FU_OF[_op] = FUClass.COPY
+    else:
+        FU_OF[_op] = FUClass.ALU
+
+#: Operations that read memory.
+LOADS = frozenset(
+    {Opcode.LDW, Opcode.LDH, Opcode.LDHU, Opcode.LDB, Opcode.LDBU}
+)
+#: Operations that write memory.
+STORES = frozenset({Opcode.STW, Opcode.STH, Opcode.STB})
+#: All memory operations.
+MEMOPS = LOADS | STORES
+#: Control-flow operations.
+BRANCHES = frozenset({Opcode.BR, Opcode.BRF, Opcode.GOTO, Opcode.HALT})
+#: Compare opcodes producing 0/1 in a general register.
+COMPARES = frozenset(
+    {
+        Opcode.CMPEQ,
+        Opcode.CMPNE,
+        Opcode.CMPLT,
+        Opcode.CMPLE,
+        Opcode.CMPGT,
+        Opcode.CMPGE,
+        Opcode.CMPLTU,
+        Opcode.CMPGEU,
+    }
+)
+
+
+@dataclass(frozen=True)
+class OpcodeInfo:
+    """Static properties of one opcode."""
+
+    opcode: Opcode
+    fu: FUClass
+    latency: int
+    reads_mem: bool
+    writes_mem: bool
+    is_branch: bool
+
+
+def _latency(op: Opcode) -> int:
+    # Paper §IV: "Memory and multiply operations have a latency of 2
+    # cycles, and the rest have single-cycle latency."
+    if FU_OF[op] is FUClass.MUL or op in LOADS:
+        return 2
+    return 1
+
+
+#: Opcode -> OpcodeInfo table.
+INFO: dict[Opcode, OpcodeInfo] = {
+    op: OpcodeInfo(
+        opcode=op,
+        fu=FU_OF[op],
+        latency=_latency(op),
+        reads_mem=op in LOADS,
+        writes_mem=op in STORES,
+        is_branch=op in BRANCHES,
+    )
+    for op in Opcode
+}
+
+#: Compiler-visible delay between CMPBR and the branch consuming it
+#: (paper §IV: "There is a 2-cycle delay from compare to branch").
+CMP_TO_BRANCH_DELAY = 2

@@ -1,0 +1,84 @@
+"""Fixed-point 8-point DCT/IDCT emitters shared by the JPEG-ish kernels.
+
+A compact integer approximation in the AAN style: a butterfly stage of
+adds/subs followed by Q15 rotations (``mpyshr15``).  Numerical fidelity
+to JPEG is not the goal — instruction mix and dependence structure are:
+~20 add/sub + 5 multiplies per 8-point transform, depth ~5, which is
+what gives DCT codecs their medium/high ILP on VLIWs.
+"""
+
+from __future__ import annotations
+
+from ..compiler.builder import KernelBuilder, Value
+
+# Q15 constants: cos(k*pi/16) scaled by 2^15
+C1 = 32138
+C2 = 30274
+C3 = 27246
+C4 = 23170  # sqrt(2)/2
+C5 = 18205
+C6 = 12540
+C7 = 6393
+
+
+def dct8(b: KernelBuilder, x: list[Value]) -> list[Value]:
+    """Forward 8-point transform; returns 8 new values."""
+    if len(x) != 8:
+        raise ValueError("dct8 needs exactly 8 inputs")
+    # stage 1: sums and differences
+    s07 = b.add(x[0], x[7])
+    d07 = b.sub(x[0], x[7])
+    s16 = b.add(x[1], x[6])
+    d16 = b.sub(x[1], x[6])
+    s25 = b.add(x[2], x[5])
+    d25 = b.sub(x[2], x[5])
+    s34 = b.add(x[3], x[4])
+    d34 = b.sub(x[3], x[4])
+    # stage 2: even part
+    e0 = b.add(s07, s34)
+    e3 = b.sub(s07, s34)
+    e1 = b.add(s16, s25)
+    e2 = b.sub(s16, s25)
+    y0 = b.add(e0, e1)
+    y4 = b.sub(e0, e1)
+    y2 = b.add(b.mpyshr15(e2, C6), b.mpyshr15(e3, C2))
+    y6 = b.sub(b.mpyshr15(e3, C6), b.mpyshr15(e2, C2))
+    # stage 2: odd part (rotations)
+    y1 = b.add(b.mpyshr15(d07, C1), b.mpyshr15(d34, C7))
+    y7 = b.sub(b.mpyshr15(d07, C7), b.mpyshr15(d34, C1))
+    y3 = b.add(b.mpyshr15(d16, C3), b.mpyshr15(d25, C5))
+    y5 = b.sub(b.mpyshr15(d16, C5), b.mpyshr15(d25, C3))
+    return [y0, y1, y2, y3, y4, y5, y6, y7]
+
+
+def idct8(b: KernelBuilder, y: list[Value]) -> list[Value]:
+    """Inverse 8-point transform; returns 8 new values."""
+    if len(y) != 8:
+        raise ValueError("idct8 needs exactly 8 inputs")
+    # even part
+    e0 = b.add(y[0], y[4])
+    e1 = b.sub(y[0], y[4])
+    e2 = b.sub(b.mpyshr15(y[2], C6), b.mpyshr15(y[6], C2))
+    e3 = b.add(b.mpyshr15(y[2], C2), b.mpyshr15(y[6], C6))
+    t0 = b.add(e0, e3)
+    t3 = b.sub(e0, e3)
+    t1 = b.add(e1, e2)
+    t2 = b.sub(e1, e2)
+    # odd part
+    o0 = b.add(b.mpyshr15(y[1], C1), b.mpyshr15(y[7], C7))
+    o3 = b.sub(b.mpyshr15(y[1], C7), b.mpyshr15(y[7], C1))
+    o1 = b.add(b.mpyshr15(y[3], C3), b.mpyshr15(y[5], C5))
+    o2 = b.sub(b.mpyshr15(y[3], C5), b.mpyshr15(y[5], C3))
+    s0 = b.add(o0, o1)
+    s1 = b.add(o3, o2)
+    s2 = b.sub(o0, o1)
+    s3 = b.sub(o3, o2)
+    x0 = b.add(t0, s0)
+    x7 = b.sub(t0, s0)
+    x1 = b.add(t1, s1)
+    x6 = b.sub(t1, s1)
+    x2 = b.add(t2, s2)
+    x5 = b.sub(t2, s2)
+    x3 = b.add(t3, s3)
+    x4 = b.sub(t3, s3)
+    return [x0, x1, x2, x3, x4, x5, x6, x7]

@@ -1,0 +1,84 @@
+"""Benchmark registry and trace cache (the paper's Fig. 13a suite).
+
+``SUITE`` maps benchmark name -> (:class:`KernelMeta`, build function).
+:func:`get_trace` compiles and functionally executes a kernel once per
+(process, scale, machine) and memoises the resulting
+:class:`~repro.pipeline.trace.TraceBundle`, so the 150-run experiment
+matrix reuses twelve functional runs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from ..arch.config import MachineConfig, PAPER_MACHINE
+from ..compiler.builder import KernelBuilder
+from ..compiler.pipeline import compile_kernel
+from ..pipeline.trace import TraceBundle, record_trace
+from . import (
+    blowfish,
+    bzip2,
+    colorspace,
+    g721,
+    gsmencode,
+    idct,
+    imgpipe,
+    jpeg,
+    mcf,
+    x264,
+)
+from .common import KernelMeta
+
+SUITE: dict[str, tuple[KernelMeta, Callable[[float], KernelBuilder]]] = {
+    "mcf": (mcf.META, mcf.build),
+    "bzip2": (bzip2.META, bzip2.build),
+    "blowfish": (blowfish.META, blowfish.build),
+    "gsmencode": (gsmencode.META, gsmencode.build),
+    "g721encode": (g721.META_ENCODE, g721.build_encode),
+    "g721decode": (g721.META_DECODE, g721.build_decode),
+    "cjpeg": (jpeg.META_CJPEG, jpeg.build_cjpeg),
+    "djpeg": (jpeg.META_DJPEG, jpeg.build_djpeg),
+    "imgpipe": (imgpipe.META, imgpipe.build),
+    "x264": (x264.META, x264.build),
+    "idct": (idct.META, idct.build),
+    "colorspace": (colorspace.META, colorspace.build),
+}
+
+#: Fig. 13a order
+BENCH_ORDER = list(SUITE)
+
+BY_CLASS: dict[str, list[str]] = {"l": [], "m": [], "h": []}
+for _name, (_meta, _) in SUITE.items():
+    BY_CLASS[_meta.ilp_class].append(_name)
+
+_trace_cache: dict[tuple[str, float, int], TraceBundle] = {}
+
+
+def get_meta(name: str) -> KernelMeta:
+    return SUITE[name][0]
+
+
+def build_program(name: str, scale: float = 1.0, cfg: MachineConfig = PAPER_MACHINE):
+    """Compile one benchmark; returns its CompileResult."""
+    meta, build = SUITE[name]
+    return compile_kernel(build(scale), cfg)
+
+
+def get_trace(
+    name: str,
+    scale: float = 1.0,
+    cfg: MachineConfig = PAPER_MACHINE,
+    max_instructions: int = 5_000_000,
+) -> TraceBundle:
+    """Compile + functionally execute + memoise one benchmark trace."""
+    key = (name, scale, id(cfg))
+    bundle = _trace_cache.get(key)
+    if bundle is None:
+        result = build_program(name, scale, cfg)
+        bundle = record_trace(result.program, cfg, max_instructions)
+        _trace_cache[key] = bundle
+    return bundle
+
+
+def clear_trace_cache() -> None:
+    _trace_cache.clear()

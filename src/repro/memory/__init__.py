@@ -1,0 +1,5 @@
+"""Cache hierarchy models (single-level I/D caches, perfect-memory mode)."""
+
+from .cache import Cache, PerfectCache, make_cache
+
+__all__ = ["Cache", "PerfectCache", "make_cache"]

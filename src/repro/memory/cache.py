@@ -1,0 +1,143 @@
+"""Set-associative cache model.
+
+The paper's configuration (§VI-A): single-level 64 KB, 4-way
+set-associative ICache and DCache, 20-cycle miss penalty (400 MHz core,
+50 ns DRAM critical-word latency), no L2.
+
+The model is a *timing* cache: it tracks tags and LRU state, not data
+(the functional VM owns the data).  ``access`` returns hit/miss; misses
+fill the line.  Stores allocate (write-allocate, write-back — ST200
+D-caches are write-back); dirty state is tracked for statistics but the
+single-level model charges no extra write-back penalty, matching the
+paper's flat 20-cycle figure.
+
+Multithreaded sharing: the SMT pipeline shares one ICache and one DCache
+among all hardware threads, so the model is thread-oblivious (the
+address stream interleaving *is* the sharing).
+"""
+
+from __future__ import annotations
+
+from ..arch.config import CacheConfig
+
+
+class Cache:
+    """LRU set-associative cache keyed by line address."""
+
+    __slots__ = (
+        "cfg",
+        "line_shift",
+        "n_sets",
+        "set_mask",
+        "sets",
+        "dirty",
+        "hits",
+        "misses",
+        "writebacks",
+    )
+
+    def __init__(self, cfg: CacheConfig):
+        self.cfg = cfg
+        self.line_shift = cfg.line_bytes.bit_length() - 1
+        self.n_sets = cfg.n_sets
+        self.set_mask = self.n_sets - 1
+        if self.n_sets & self.set_mask:
+            raise ValueError("set count must be a power of two")
+        # each set: list of tags in LRU order (front = MRU)
+        self.sets: list[list[int]] = [[] for _ in range(self.n_sets)]
+        self.dirty: list[set[int]] = [set() for _ in range(self.n_sets)]
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+
+    def flush(self) -> None:
+        """Invalidate all lines (keeps statistics)."""
+        for s in self.sets:
+            s.clear()
+        for d in self.dirty:
+            d.clear()
+
+    def line_of(self, addr: int) -> int:
+        return addr >> self.line_shift
+
+    def access(self, addr: int, is_write: bool = False) -> bool:
+        """Probe the cache; returns True on hit.  Misses fill."""
+        line = addr >> self.line_shift
+        set_i = line & self.set_mask
+        tag = line >> 0  # full line id as tag (set bits redundant, harmless)
+        ways = self.sets[set_i]
+        try:
+            pos = ways.index(tag)
+        except ValueError:
+            pos = -1
+        if pos >= 0:
+            if pos:
+                ways.insert(0, ways.pop(pos))
+            if is_write:
+                self.dirty[set_i].add(tag)
+            self.hits += 1
+            return True
+        # miss: fill, evict LRU
+        self.misses += 1
+        ways.insert(0, tag)
+        if is_write:
+            self.dirty[set_i].add(tag)
+        if len(ways) > self.cfg.assoc:
+            victim = ways.pop()
+            if victim in self.dirty[set_i]:
+                self.dirty[set_i].discard(victim)
+                self.writebacks += 1
+        return False
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        a = self.accesses
+        return self.misses / a if a else 0.0
+
+
+class PerfectCache:
+    """Always hits — the paper's IPCp (perfect memory) configuration."""
+
+    __slots__ = ("hits", "misses", "writebacks", "cfg", "line_shift")
+
+    def __init__(self, cfg: CacheConfig):
+        self.cfg = cfg
+        self.line_shift = cfg.line_bytes.bit_length() - 1
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+
+    def flush(self) -> None:  # pragma: no cover - trivial
+        pass
+
+    def line_of(self, addr: int) -> int:
+        return addr >> self.line_shift
+
+    def access(self, addr: int, is_write: bool = False) -> bool:
+        self.hits += 1
+        return True
+
+    @property
+    def accesses(self) -> int:
+        return self.hits
+
+    @property
+    def miss_rate(self) -> float:
+        return 0.0
+
+
+def make_cache(cfg: CacheConfig, perfect: bool = False):
+    """Factory used by the pipeline: real or perfect cache."""
+    return PerfectCache(cfg) if perfect else Cache(cfg)

@@ -1,0 +1,17 @@
+"""Cycle-accurate SMT timing simulator and trace infrastructure."""
+
+from .processor import Processor, SimParams, run_single_thread
+from .stats import BenchStats, SimStats
+from .trace import StaticTable, TraceBundle, build_static_table, record_trace
+
+__all__ = [
+    "Processor",
+    "SimParams",
+    "run_single_thread",
+    "BenchStats",
+    "SimStats",
+    "StaticTable",
+    "TraceBundle",
+    "build_static_table",
+    "record_trace",
+]

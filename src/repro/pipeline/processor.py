@@ -1,0 +1,367 @@
+"""Cycle-accurate SMT clustered-VLIW timing simulator.
+
+Replays functional traces under a multithreading/split-issue
+:class:`~repro.core.policies.Policy`, modeling (paper §IV-§VI-A):
+
+* per-cycle instruction merging via :class:`~repro.core.merging.MergeEngine`
+  with round-robin thread priorities;
+* cluster renaming per hardware thread slot;
+* shared single-level ICache and DCache (64 KB 4-way, 20-cycle miss
+  penalty) or perfect memory (IPCp mode);
+* taken-branch penalty (1 cycle; fall-through is the predicted path);
+* per-thread stalls on cache misses ("execution is stalled until the
+  architectural assumptions hold true");
+* buffered-store memory-port contention at last-part commit (Fig. 11):
+  a collision stalls the pipeline one cycle per colliding port;
+* the multitasking environment of §VI-A: as many threads as hardware
+  contexts run per timeslice; at expiry, running threads are replaced by
+  threads picked at random from the workload; benchmarks that finish are
+  respawned; the run ends when one benchmark has retired
+  ``target_instructions`` dynamic VLIW instructions.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..arch.config import MachineConfig, PAPER_MACHINE
+from ..core.merging import MergeEngine
+from ..core.policies import Policy
+from ..core.priority import make_priority
+from ..core.renaming import renaming_vector
+from ..core.splitstate import PendingInstruction
+from ..memory.cache import make_cache
+from .stats import BenchStats, SimStats
+from .trace import TraceBundle
+
+
+@dataclass
+class SimParams:
+    """Scaling and policy knobs (paper values in comments)."""
+
+    target_instructions: int = 200_000  # paper: 200 M
+    timeslice: int = 50_000  # paper: 5 M cycles
+    max_cycles: int = 50_000_000
+    perfect_memory: bool = False
+    renaming: bool = True
+    priority: str = "round-robin"
+    seed: int = 12345
+
+
+class _Bench:
+    """Persistent state of one workload benchmark."""
+
+    __slots__ = ("bundle", "pos", "stats")
+
+    def __init__(self, bundle: TraceBundle):
+        self.bundle = bundle
+        self.pos = 0
+        self.stats = BenchStats(bundle.name)
+
+
+class _Thread:
+    """One hardware thread slot."""
+
+    __slots__ = (
+        "slot",
+        "rotation",
+        "bench",
+        "table",
+        "addr_rows",
+        "taken",
+        "idx",
+        "pend",
+        "stall_until",
+        "fetch_at",
+        "last_iline",
+    )
+
+    def __init__(self, slot: int, rotation: int):
+        self.slot = slot
+        self.rotation = rotation
+        self.bench: _Bench | None = None
+        self.table = None
+        self.addr_rows = None
+        self.taken = None
+        self.idx = None
+        self.pend: PendingInstruction | None = None
+        self.stall_until = 0
+        self.fetch_at = 0
+        self.last_iline = -1
+
+    def assign(self, bench: _Bench | None) -> None:
+        self.bench = bench
+        self.pend = None
+        self.last_iline = -1
+        if bench is not None:
+            table, rows = bench.bundle.rotated(self.rotation)
+            self.table = table
+            self.addr_rows = rows
+            self.taken = bench.bundle.taken
+            self.idx = bench.bundle.idx
+        else:
+            self.table = None
+
+
+class Processor:
+    """SMT clustered-VLIW processor simulator."""
+
+    def __init__(
+        self,
+        policy: Policy,
+        workload: list[TraceBundle],
+        n_threads: int,
+        cfg: MachineConfig = PAPER_MACHINE,
+        params: SimParams | None = None,
+    ):
+        if n_threads < 1:
+            raise ValueError("need at least one hardware thread")
+        self.cfg = cfg
+        self.policy = policy
+        self.params = params or SimParams()
+        self.n_threads = n_threads
+        self.engine = MergeEngine(cfg, policy.merge)
+        self.priority = make_priority(self.params.priority, n_threads)
+        self.rng = random.Random(self.params.seed)
+        self.icache = make_cache(cfg.icache, self.params.perfect_memory)
+        self.dcache = make_cache(cfg.dcache, self.params.perfect_memory)
+        self.iline_shift = cfg.icache.line_bytes.bit_length() - 1
+        rot = (
+            renaming_vector(n_threads, cfg.n_clusters)
+            if self.params.renaming
+            else [0] * n_threads
+        )
+        self.threads = [_Thread(t, rot[t]) for t in range(n_threads)]
+        self.benches = [_Bench(b) for b in workload]
+        self.stats = SimStats(issue_width=cfg.issue_width)
+        for b in self.benches:
+            self.stats.per_bench[b.stats.name] = b.stats
+        self._target = self.params.target_instructions
+        self._target_hit = False
+        self._schedule_initial()
+
+    # ------------------------------------------------------------------
+    def _schedule_initial(self) -> None:
+        picks = self.rng.sample(
+            range(len(self.benches)),
+            min(self.n_threads, len(self.benches)),
+        )
+        for t, th in enumerate(self.threads):
+            th.assign(self.benches[picks[t]] if t < len(picks) else None)
+
+    def _context_switch(self) -> None:
+        """Replace running threads with randomly picked ones (§VI-A)."""
+        picks = self.rng.sample(
+            range(len(self.benches)),
+            min(self.n_threads, len(self.benches)),
+        )
+        for t, th in enumerate(self.threads):
+            th.assign(self.benches[picks[t]] if t < len(picks) else None)
+        self.stats.context_switches += 1
+
+    # ------------------------------------------------------------------
+    def _fetch(self, th: _Thread, cycle: int) -> bool:
+        """Bring the next instruction into ``th.pend``.  Returns True if
+        an instruction is ready to be offered to the merge engine."""
+        bench = th.bench
+        i = th.idx[bench.pos]
+        line = th.table.pc[i] >> self.iline_shift
+        if line != th.last_iline:
+            th.last_iline = line
+            self.stats.icache_accesses += 1
+            if not self.icache.access(th.table.pc[i]):
+                self.stats.icache_misses += 1
+                th.fetch_at = cycle + self.cfg.icache.miss_penalty
+                return False
+        th.pend = PendingInstruction(
+            th.table, i, self.policy.split, self.policy.comm_split
+        )
+        return True
+
+    def _retire(self, th: _Thread, cycle: int) -> None:
+        """Current instruction fully issued: advance the thread."""
+        bench = th.bench
+        pend = th.pend
+        if pend.was_split:
+            self.stats.split_instructions += 1
+        taken = th.taken[bench.pos]
+        th.fetch_at = cycle + 1 + (
+            self.cfg.taken_branch_penalty if taken else 0
+        )
+        bench.pos += 1
+        bench.stats.instructions += 1
+        self.stats.instructions += 1
+        if bench.stats.instructions >= self._target:
+            self._target_hit = True
+        th.pend = None
+        if bench.pos >= bench.bundle.length:
+            # benchmark finished: respawn it (§VI-A)
+            bench.pos = 0
+            bench.stats.respawns += 1
+            th.last_iline = -1
+        if taken:
+            th.last_iline = -1  # refetch target line
+
+    def _dcache_probe(
+        self, th: _Thread, mem_mask: int, cycle: int
+    ) -> None:
+        """Probe the DCache for the memory ops just issued; a miss
+        stalls the thread for the miss penalty (stall-on-miss, serialised
+        for multiple misses — single memory port, blocking cache)."""
+        row = th.addr_rows[th.bench.pos]
+        store_mask = th.table.store_cmask[th.pend.static_index]
+        penalty = 0
+        m = mem_mask
+        c = 0
+        while m:
+            if m & 1:
+                addr = row[c]
+                if addr >= 0:
+                    self.stats.dcache_accesses += 1
+                    if not self.dcache.access(
+                        addr, is_write=bool((store_mask >> c) & 1)
+                    ):
+                        self.stats.dcache_misses += 1
+                        penalty += self.cfg.dcache.miss_penalty
+            m >>= 1
+            c += 1
+        if penalty:
+            th.stall_until = max(th.stall_until, cycle + 1 + penalty)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        max_cycles: int | None = None,
+        stop_on_target: bool = True,
+    ) -> SimStats:
+        """Simulate until a benchmark hits the instruction target (or
+        ``max_cycles``).  Returns the statistics object."""
+        params = self.params
+        stats = self.stats
+        engine = self.engine
+        policy = self.policy
+        split = policy.split
+        threads = self.threads
+        limit = max_cycles if max_cycles is not None else params.max_cycles
+        timeslice = params.timeslice
+        next_switch = timeslice
+        switching = False
+        multi = len(self.benches) > 1 and timeslice > 0
+
+        cycle = stats.cycles
+        end_cycle = cycle + limit
+
+        while cycle < end_cycle:
+            ops_this_cycle = 0
+            threads_contributing = 0
+            stall_extra = 0
+
+            engine.begin_cycle()
+            for t in self.priority.order(cycle):
+                th = threads[t]
+                if th.bench is None or cycle < th.stall_until:
+                    continue
+                if th.pend is None:
+                    if cycle < th.fetch_at or (switching):
+                        continue
+                    if not self._fetch(th, cycle):
+                        continue
+                pend = th.pend
+                if pend.ops_total == 0:
+                    # empty instruction (compiler latency-padding NOP
+                    # cycle): consumes this thread's issue cycle
+                    self._retire(th, cycle)
+                    continue
+                if split == "none":
+                    if engine.try_whole(pend):
+                        n = pend.ops_total
+                        mem = th.table.mem_cmask[pend.static_index]
+                    else:
+                        n, mem = 0, 0
+                elif split == "cluster":
+                    issued_mask, n = engine.try_bundles(pend)
+                    mem = (
+                        th.table.mem_cmask[pend.static_index] & issued_mask
+                    )
+                else:  # op
+                    n, _cmask, mem = engine.try_ops(pend)
+
+                if n:
+                    ops_this_cycle += n
+                    threads_contributing += 1
+                    th.bench.stats.operations += n
+                    if mem:
+                        self._dcache_probe(th, mem, cycle)
+                    if pend.done:
+                        if pend.buffered_store_mask:
+                            # last-part commit: buffered stores need the
+                            # memory ports *now* (Fig. 11)
+                            conflicts = (
+                                pend.buffered_store_mask
+                                & engine.mem_used_mask
+                            )
+                            engine.mem_used_mask |= (
+                                pend.buffered_store_mask
+                            )
+                            stall_extra += bin(conflicts).count("1")
+                        self._retire(th, cycle)
+                    else:
+                        # stores issued in a non-final part are buffered
+                        sm = th.table.store_cmask[pend.static_index] & (
+                            mem
+                        )
+                        if sm:
+                            pend.buffer_stores(sm)
+
+            stats.operations += ops_this_cycle
+            if ops_this_cycle == 0:
+                stats.vertical_waste += 1
+            else:
+                stats.packet_threads[threads_contributing] = (
+                    stats.packet_threads.get(threads_contributing, 0) + 1
+                )
+            cycle += 1
+            if stall_extra:
+                cycle += stall_extra
+                stats.stall_cycles += stall_extra
+                stats.vertical_waste += stall_extra
+
+            # ---- multitasking scheduler ----
+            if multi and cycle >= next_switch:
+                if not switching:
+                    switching = True  # drain split instructions first
+                if all(th.pend is None for th in threads):
+                    self._context_switch()
+                    next_switch = cycle + timeslice
+                    switching = False
+
+            if stop_on_target and self._target_hit:
+                break
+
+        stats.cycles = cycle
+        return stats
+
+
+def run_single_thread(
+    bundle: TraceBundle,
+    cfg: MachineConfig = PAPER_MACHINE,
+    perfect_memory: bool = False,
+    target_instructions: int | None = None,
+    max_cycles: int = 50_000_000,
+) -> SimStats:
+    """Run one benchmark alone (the paper's Fig. 13a IPCr/IPCp columns)."""
+    from ..core.policies import SMT
+
+    params = SimParams(
+        target_instructions=(
+            target_instructions
+            if target_instructions is not None
+            else bundle.length
+        ),
+        timeslice=0,  # no multitasking
+        perfect_memory=perfect_memory,
+        renaming=False,
+    )
+    proc = Processor(SMT, [bundle], 1, cfg, params)
+    return proc.run(max_cycles=max_cycles)

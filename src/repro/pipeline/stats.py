@@ -1,0 +1,88 @@
+"""Simulation statistics.
+
+IPC here is the paper's metric: *operations* issued per cycle (a VLIW
+instruction is 1..16 RISC operations, §VI-A).  Vertical waste counts
+cycles in which no operation issued; horizontal waste counts unused
+issue slots in cycles where at least one operation issued (the standard
+Tullsen-style decomposition the paper's introduction uses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class BenchStats:
+    """Per-benchmark counters (persistent across context switches)."""
+
+    name: str
+    instructions: int = 0  # dynamic VLIW instructions retired
+    operations: int = 0
+    respawns: int = 0
+
+
+@dataclass
+class SimStats:
+    """Whole-simulation counters."""
+
+    cycles: int = 0
+    operations: int = 0
+    instructions: int = 0
+    vertical_waste: int = 0
+    stall_cycles: int = 0  # pipeline stalls from buffered-store conflicts
+    #: histogram: number of threads contributing ops to a cycle -> count
+    packet_threads: dict[int, int] = field(default_factory=dict)
+    #: instructions that issued in >1 part
+    split_instructions: int = 0
+    icache_misses: int = 0
+    dcache_misses: int = 0
+    icache_accesses: int = 0
+    dcache_accesses: int = 0
+    context_switches: int = 0
+    per_bench: dict[str, BenchStats] = field(default_factory=dict)
+    issue_width: int = 16
+
+    @property
+    def ipc(self) -> float:
+        return self.operations / self.cycles if self.cycles else 0.0
+
+    @property
+    def horizontal_waste(self) -> int:
+        active = self.cycles - self.vertical_waste
+        return active * self.issue_width - self.operations
+
+    @property
+    def vertical_waste_frac(self) -> float:
+        return self.vertical_waste / self.cycles if self.cycles else 0.0
+
+    @property
+    def merged_cycle_frac(self) -> float:
+        """Fraction of issuing cycles whose packet mixes >= 2 threads."""
+        total = sum(
+            v for k, v in self.packet_threads.items() if k >= 1
+        )
+        multi = sum(v for k, v in self.packet_threads.items() if k >= 2)
+        return multi / total if total else 0.0
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "cycles": float(self.cycles),
+            "operations": float(self.operations),
+            "instructions": float(self.instructions),
+            "ipc": self.ipc,
+            "vertical_waste_frac": self.vertical_waste_frac,
+            "merged_cycle_frac": self.merged_cycle_frac,
+            "split_instructions": float(self.split_instructions),
+            "stall_cycles": float(self.stall_cycles),
+            "icache_miss_rate": (
+                self.icache_misses / self.icache_accesses
+                if self.icache_accesses
+                else 0.0
+            ),
+            "dcache_miss_rate": (
+                self.dcache_misses / self.dcache_accesses
+                if self.dcache_accesses
+                else 0.0
+            ),
+        }

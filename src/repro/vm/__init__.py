@@ -1,0 +1,5 @@
+"""Functional VLIW interpreter and dynamic trace recording."""
+
+from .machine import MASK32, VM, TraceRecorder, VMError
+
+__all__ = ["MASK32", "VM", "TraceRecorder", "VMError"]

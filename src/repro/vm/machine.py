@@ -1,0 +1,299 @@
+"""Functional interpreter for compiled VLIW programs.
+
+Executes one VLIW instruction atomically per step with *read-old-state*
+semantics: every operation of an instruction reads the register/memory
+state from before the instruction (the paper's Fig. 3 single-cycle swap
+is legal and works here).  This is the reference semantics that the
+split-issue buffer protocol (:mod:`repro.core.buffers`) must preserve.
+
+The VM is the *functional* half of the trace-driven simulator: it runs
+each kernel once and records a dynamic trace (static instruction index,
+branch-taken flag, per-cluster data addresses) that the timing model
+replays under any multithreading/split-issue policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..isa.opcodes import STORES, Opcode
+from ..isa.operation import Operation
+from ..isa.program import Program
+
+MASK32 = 0xFFFFFFFF
+
+
+def _s32(x: int) -> int:
+    """Interpret a 32-bit pattern as signed."""
+    x &= MASK32
+    return x - 0x100000000 if x & 0x80000000 else x
+
+
+class VMError(RuntimeError):
+    pass
+
+
+@dataclass
+class TraceRecorder:
+    """Accumulates the dynamic trace of one run."""
+
+    n_clusters: int
+    indices: list[int] = field(default_factory=list)
+    taken: list[bool] = field(default_factory=list)
+    #: flattened per-cluster address matrix; -1 = no access. One memory
+    #: port per cluster means at most one address per (instr, cluster).
+    addrs: list[list[int]] = field(default_factory=list)
+
+    def record(self, idx: int, taken: bool, addr_row: list[int]) -> None:
+        self.indices.append(idx)
+        self.taken.append(taken)
+        self.addrs.append(addr_row)
+
+    def arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        return (
+            np.asarray(self.indices, dtype=np.int32),
+            np.asarray(self.taken, dtype=bool),
+            np.asarray(self.addrs, dtype=np.int32).reshape(
+                len(self.indices), self.n_clusters
+            ),
+        )
+
+
+class VM:
+    """Interpreter state: per-cluster register files, branch regs, memory."""
+
+    def __init__(self, program: Program, n_regs: int = 64, n_bregs: int = 8):
+        self.program = program
+        self.n_regs = n_regs
+        self.n_bregs = n_bregs
+        self.reset()
+
+    def reset(self) -> None:
+        p = self.program
+        self.regs = [[0] * self.n_regs for _ in range(p.n_clusters)]
+        self.bregs = [0] * self.n_bregs
+        self.mem = bytearray(p.data.size)
+        for addr, word in p.data.words.items():
+            self.mem[addr : addr + 4] = word.to_bytes(4, "little")
+        self.pc = 0
+        self.halted = False
+        self.instr_count = 0
+        self.op_count = 0
+
+    # -- memory helpers (little-endian) -------------------------------------
+    def load(self, op: Operation, addr: int) -> int:
+        m = self.mem
+        if addr < 0 or addr + 4 > len(m):
+            raise VMError(
+                f"{self.program.name}: load out of range {addr:#x} "
+                f"at pc instr {self.pc}"
+            )
+        oc = op.opcode
+        if oc is Opcode.LDW:
+            return int.from_bytes(m[addr : addr + 4], "little")
+        if oc is Opcode.LDH:
+            return _s32(int.from_bytes(m[addr : addr + 2], "little") | (
+                0xFFFF0000
+                if m[addr + 1] & 0x80
+                else 0
+            )) & MASK32
+        if oc is Opcode.LDHU:
+            return int.from_bytes(m[addr : addr + 2], "little")
+        if oc is Opcode.LDB:
+            b = m[addr]
+            return (b | 0xFFFFFF00) & MASK32 if b & 0x80 else b
+        if oc is Opcode.LDBU:
+            return m[addr]
+        raise VMError(f"bad load opcode {oc}")
+
+    def store(self, op: Operation, addr: int, value: int) -> None:
+        m = self.mem
+        if addr < 0 or addr + 4 > len(m):
+            raise VMError(
+                f"{self.program.name}: store out of range {addr:#x}"
+            )
+        oc = op.opcode
+        if oc is Opcode.STW:
+            m[addr : addr + 4] = (value & MASK32).to_bytes(4, "little")
+        elif oc is Opcode.STH:
+            m[addr : addr + 2] = (value & 0xFFFF).to_bytes(2, "little")
+        elif oc is Opcode.STB:
+            m[addr] = value & 0xFF
+        else:
+            raise VMError(f"bad store opcode {oc}")
+
+    # -- ALU ----------------------------------------------------------------
+    @staticmethod
+    def alu(op: Operation, a: int, b: int) -> int:
+        oc = op.opcode
+        if oc is Opcode.ADD:
+            return (a + b) & MASK32
+        if oc is Opcode.SUB:
+            return (a - b) & MASK32
+        if oc is Opcode.AND:
+            return a & b
+        if oc is Opcode.OR:
+            return a | b
+        if oc is Opcode.XOR:
+            return a ^ b
+        if oc is Opcode.SHL:
+            return (a << (b & 31)) & MASK32
+        if oc is Opcode.SHR:
+            return (a & MASK32) >> (b & 31)
+        if oc is Opcode.SRA:
+            return (_s32(a) >> (b & 31)) & MASK32
+        if oc is Opcode.MOV:
+            return a & MASK32
+        if oc is Opcode.MIN:
+            return (min(_s32(a), _s32(b))) & MASK32
+        if oc is Opcode.MAX:
+            return (max(_s32(a), _s32(b))) & MASK32
+        if oc is Opcode.ABS:
+            return abs(_s32(a)) & MASK32
+        if oc is Opcode.NOT:
+            return (~a) & MASK32
+        if oc is Opcode.SXTB:
+            return ((a & 0xFF) | 0xFFFFFF00 if a & 0x80 else a & 0xFF) & MASK32
+        if oc is Opcode.SXTH:
+            return (
+                (a & 0xFFFF) | 0xFFFF0000 if a & 0x8000 else a & 0xFFFF
+            ) & MASK32
+        if oc is Opcode.ZXTB:
+            return a & 0xFF
+        if oc is Opcode.ZXTH:
+            return a & 0xFFFF
+        if oc is Opcode.MPY:
+            return (_s32(a) * _s32(b)) & MASK32
+        if oc is Opcode.MPYH:
+            return ((_s32(a) * _s32(b)) >> 32) & MASK32
+        if oc is Opcode.MPYSHR15:
+            return ((_s32(a) * _s32(b)) >> 15) & MASK32
+        return VM.compare(oc, a, b)
+
+    @staticmethod
+    def compare(oc: Opcode, a: int, b: int) -> int:
+        if oc is Opcode.CMPEQ:
+            return int((a & MASK32) == (b & MASK32))
+        if oc is Opcode.CMPNE:
+            return int((a & MASK32) != (b & MASK32))
+        if oc is Opcode.CMPLT:
+            return int(_s32(a) < _s32(b))
+        if oc is Opcode.CMPLE:
+            return int(_s32(a) <= _s32(b))
+        if oc is Opcode.CMPGT:
+            return int(_s32(a) > _s32(b))
+        if oc is Opcode.CMPGE:
+            return int(_s32(a) >= _s32(b))
+        if oc is Opcode.CMPLTU:
+            return int((a & MASK32) < (b & MASK32))
+        if oc is Opcode.CMPGEU:
+            return int((a & MASK32) >= (b & MASK32))
+        raise VMError(f"unknown ALU opcode {oc}")
+
+    # -- one VLIW instruction, atomically ------------------------------------
+    def step(self, recorder: TraceRecorder | None = None) -> bool:
+        """Execute the instruction at ``self.pc``; returns False if halted."""
+        if self.halted:
+            return False
+        program = self.program
+        ins = program[self.pc]
+        regs = self.regs
+        # phase 1: read everything, compute writes
+        reg_writes: list[tuple[int, int, int]] = []  # (cluster, reg, value)
+        breg_writes: list[tuple[int, int]] = []
+        mem_writes: list[tuple[Operation, int, int]] = []
+        xfer_vals: dict[int, int] = {}
+        addr_row = [-1] * program.n_clusters
+        taken = False
+        next_pc = self.pc + 1
+
+        for op in ins.ops:
+            oc = op.opcode
+            c = op.cluster
+            if oc is Opcode.SEND:
+                xfer_vals[op.xfer_id] = regs[c][op.srcs[0]]
+        for op in ins.ops:
+            oc = op.opcode
+            c = op.cluster
+            if oc is Opcode.SEND:
+                continue
+            if oc is Opcode.RECV:
+                reg_writes.append((c, op.dst, xfer_vals[op.xfer_id]))
+                continue
+            if oc is Opcode.NOP:
+                continue
+            if op.is_mem:
+                base = regs[c][op.srcs[-1]]
+                addr = (base + op.imm) & MASK32
+                addr_row[c] = addr
+                if oc in STORES:
+                    mem_writes.append((op, addr, regs[c][op.srcs[0]]))
+                else:
+                    reg_writes.append((c, op.dst, self.load(op, addr)))
+                continue
+            if oc is Opcode.CMPBR:
+                a = regs[c][op.srcs[0]]
+                b = op.imm if op.use_imm else regs[c][op.srcs[1]]
+                breg_writes.append(
+                    (op.dst, self.compare(Opcode(op.cmp_kind), a, b))
+                )
+                continue
+            if oc is Opcode.BR:
+                if self.bregs[op.imm]:
+                    taken = True
+                    next_pc = op.target
+                continue
+            if oc is Opcode.BRF:
+                if not self.bregs[op.imm]:
+                    taken = True
+                    next_pc = op.target
+                continue
+            if oc is Opcode.GOTO:
+                taken = True
+                next_pc = op.target
+                continue
+            if oc is Opcode.HALT:
+                self.halted = True
+                continue
+            # plain ALU/MUL; a MOV-immediate has no register sources
+            a = regs[c][op.srcs[0]] if op.srcs else op.imm
+            b = (
+                op.imm
+                if op.use_imm
+                else (regs[c][op.srcs[1]] if len(op.srcs) > 1 else 0)
+            )
+            reg_writes.append((c, op.dst, self.alu(op, a, b)))
+
+        # phase 2: commit
+        for c, r, v in reg_writes:
+            if r != 0:  # r0 hardwired to zero
+                regs[c][r] = v & MASK32
+        for b, v in breg_writes:
+            self.bregs[b] = v
+        for op, addr, v in mem_writes:
+            self.store(op, addr, v)
+
+        if recorder is not None:
+            recorder.record(ins.index, taken, addr_row)
+        self.instr_count += 1
+        self.op_count += len(ins.ops)
+        self.pc = next_pc
+        if self.pc >= len(program) and not self.halted:
+            raise VMError(f"{program.name}: fell off program end")
+        return not self.halted
+
+    def run(
+        self,
+        max_instructions: int = 10_000_000,
+        recorder: TraceRecorder | None = None,
+    ) -> int:
+        """Run to HALT; returns executed instruction count."""
+        while self.step(recorder):
+            if self.instr_count >= max_instructions:
+                raise VMError(
+                    f"{self.program.name}: exceeded {max_instructions} "
+                    "instructions (infinite loop?)"
+                )
+        return self.instr_count

@@ -1,0 +1,89 @@
+"""Shared fixtures: tiny compiled programs and traces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.config import PAPER_MACHINE, ClusterConfig, MachineConfig
+from repro.compiler.builder import KernelBuilder
+from repro.compiler.pipeline import compile_kernel
+from repro.pipeline.trace import record_trace
+
+
+def make_axpy(name: str = "axpy", n: int = 32) -> KernelBuilder:
+    """y[i] = 3*x[i] + y[i] — the canonical tiny kernel."""
+    b = KernelBuilder(name)
+    x = b.data_words(range(n), "x")
+    y = b.data_words([1] * n, "y")
+    a = b.const(3)
+    with b.counted_loop(n) as i:
+        off = b.shl(i, 2)
+        xv = b.ldw_ix(x, off, region="x")
+        yv = b.ldw_ix(y, off, region="y")
+        b.stw_ix(b.add(b.mpy(xv, a), yv), y, off, region="y")
+    return b
+
+
+def make_wide(name: str = "wide", n: int = 16, unroll: int = 4) -> KernelBuilder:
+    """Multi-accumulator reduction that spreads across clusters."""
+    b = KernelBuilder(name)
+    xs = [b.data_words(range(16), f"x{k}") for k in range(unroll)]
+    accs = [b.const(0) for _ in range(unroll)]
+    with b.counted_loop(n) as i:
+        m = b.and_(i, 15)
+        off = b.shl(m, 2)
+        for k in range(unroll):
+            v = b.ldw_ix(xs[k], off, region=f"x{k}")
+            b.inc(accs[k], b.mpy(v, 7))
+    out = b.alloc_words(1, "out")
+    t = accs[0]
+    for k in range(1, unroll):
+        t = b.add(t, accs[k])
+    b.stw(t, b.addr(out), region="out")
+    return b
+
+
+@pytest.fixture(scope="session")
+def axpy_result():
+    return compile_kernel(make_axpy())
+
+
+@pytest.fixture(scope="session")
+def axpy_program(axpy_result):
+    return axpy_result.program
+
+
+@pytest.fixture(scope="session")
+def axpy_trace(axpy_program):
+    return record_trace(axpy_program, PAPER_MACHINE)
+
+
+@pytest.fixture(scope="session")
+def wide_trace():
+    return record_trace(
+        compile_kernel(make_wide()).program, PAPER_MACHINE
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_traces(axpy_trace, wide_trace):
+    return [axpy_trace, wide_trace]
+
+
+@pytest.fixture(scope="session")
+def slots_only_machine() -> MachineConfig:
+    """Paper Fig. 5/6 example machine: 2 clusters x 3 issue, issue slots
+    the only critical resource."""
+    return MachineConfig(
+        n_clusters=2,
+        cluster=ClusterConfig(issue_width=3, n_alu=3, n_mul=3, n_mem=3),
+    )
+
+
+@pytest.fixture(scope="session")
+def fig1_machine() -> MachineConfig:
+    """Paper Fig. 1 example machine: 4 clusters x 2 issue."""
+    return MachineConfig(
+        n_clusters=4,
+        cluster=ClusterConfig(issue_width=2, n_alu=2, n_mul=2, n_mem=2),
+    )

@@ -1,0 +1,152 @@
+"""Cache model (repro.memory.cache)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.arch.config import CacheConfig
+from repro.memory.cache import Cache, PerfectCache, make_cache
+
+
+def small_cache(assoc=2, lines=8, line_bytes=32) -> Cache:
+    return Cache(
+        CacheConfig(
+            size_bytes=assoc * lines * line_bytes,
+            assoc=assoc,
+            line_bytes=line_bytes,
+        )
+    )
+
+
+def test_paper_cache_geometry():
+    c = Cache(CacheConfig())
+    assert c.cfg.size_bytes == 64 * 1024
+    assert c.cfg.assoc == 4
+    assert c.n_sets == 512
+    assert c.cfg.miss_penalty == 20
+
+
+def test_first_access_misses_then_hits():
+    c = small_cache()
+    assert not c.access(0x100)
+    assert c.access(0x100)
+    assert c.access(0x11C)  # same 32-byte line
+    assert c.misses == 1 and c.hits == 2
+
+
+def test_distinct_lines_miss_independently():
+    c = small_cache()
+    c.access(0x000)
+    assert not c.access(0x020)
+    assert not c.access(0x040)
+
+
+def test_lru_eviction_order():
+    c = small_cache(assoc=2, lines=1)  # 1 set, 2 ways
+    c.access(0 * 32)
+    c.access(1 * 32)
+    c.access(0 * 32)  # refresh line 0 -> MRU
+    c.access(2 * 32)  # evicts line 1 (LRU)
+    assert c.access(0 * 32)  # still resident
+    assert not c.access(1 * 32)  # evicted
+
+
+def test_capacity_working_set_fits():
+    c = small_cache(assoc=2, lines=4)  # 8 lines total
+    for rep in range(3):
+        for line in range(8):
+            c.access(line * 32)
+    assert c.misses == 8  # compulsory only
+    assert c.hits == 16
+
+
+def test_cyclic_overflow_thrashes_lru():
+    c = small_cache(assoc=2, lines=1)  # 2 lines capacity
+    # cyclic access to 3 lines mapping to the same set: classic LRU 0% hit
+    for _rep in range(4):
+        for line in range(3):
+            c.access(line * 32)
+    assert c.hits == 0
+
+
+def test_write_allocate_and_writeback_counting():
+    c = small_cache(assoc=1, lines=1)
+    c.access(0x000, is_write=True)  # dirty
+    c.access(0x020, is_write=False)  # evicts dirty line
+    assert c.writebacks == 1
+    c.access(0x040)  # evicts clean line
+    assert c.writebacks == 1
+
+
+def test_flush_invalidates():
+    c = small_cache()
+    c.access(0x100)
+    c.flush()
+    assert not c.access(0x100)
+
+
+def test_reset_stats():
+    c = small_cache()
+    c.access(0)
+    c.reset_stats()
+    assert c.misses == 0 and c.hits == 0
+
+
+def test_miss_rate():
+    c = small_cache()
+    assert c.miss_rate == 0.0
+    c.access(0)
+    c.access(0)
+    assert c.miss_rate == pytest.approx(0.5)
+
+
+def test_perfect_cache_always_hits():
+    p = PerfectCache(CacheConfig())
+    for a in range(0, 1 << 20, 4096):
+        assert p.access(a)
+    assert p.miss_rate == 0.0
+
+
+def test_make_cache_factory():
+    assert isinstance(make_cache(CacheConfig(), perfect=True), PerfectCache)
+    assert isinstance(make_cache(CacheConfig(), perfect=False), Cache)
+
+
+def test_bad_geometry_rejected():
+    with pytest.raises(ValueError):
+        CacheConfig(size_bytes=1000, assoc=3, line_bytes=32)
+    with pytest.raises(ValueError):
+        CacheConfig(size_bytes=64 * 1024, assoc=4, line_bytes=24)
+
+
+def test_line_of():
+    c = small_cache(line_bytes=32)
+    assert c.line_of(0) == 0
+    assert c.line_of(31) == 0
+    assert c.line_of(32) == 1
+
+
+@given(st.lists(st.integers(0, 1 << 16), min_size=1, max_size=300))
+def test_occupancy_never_exceeds_assoc(addrs):
+    c = small_cache(assoc=2, lines=4)
+    for a in addrs:
+        c.access(a)
+    for ways in c.sets:
+        assert len(ways) <= 2
+
+
+@given(st.lists(st.integers(0, 1 << 14), min_size=1, max_size=200))
+def test_repeat_access_hits(addrs):
+    """Accessing the same address twice in a row always hits the 2nd time."""
+    c = small_cache()
+    for a in addrs:
+        c.access(a)
+        assert c.access(a)
+
+
+@given(st.lists(st.integers(0, 1 << 16), min_size=1, max_size=300))
+def test_hits_plus_misses_equals_accesses(addrs):
+    c = small_cache()
+    for a in addrs:
+        c.access(a)
+    assert c.hits + c.misses == len(addrs) == c.accesses

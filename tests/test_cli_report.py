@@ -1,0 +1,96 @@
+"""CLI, waste decomposition and report generation."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.harness.experiment import ExperimentRunner, ExperimentScale
+from repro.harness.report import render_report
+from repro.harness.waste import render_waste, waste_breakdown
+
+TINY = ExperimentScale(
+    kernel_scale=0.06, target_instructions=1_200, timeslice=700
+)
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(TINY)
+
+
+# ------------------------------------------------------------------ waste
+def test_waste_rows(runner):
+    rows = waste_breakdown(["CSMT", "SMT"], "llll", 2, runner=runner)
+    assert [r.policy for r in rows] == ["CSMT", "SMT"]
+    for r in rows:
+        assert 0 <= r.vertical_frac <= 1
+        assert 0 <= r.horizontal_frac <= 1
+        assert 0 < r.utilisation <= 1
+        # utilisation + waste accounts for all slot-cycles
+        active_share = 1 - r.vertical_frac
+        recomposed = active_share * (1 - r.horizontal_frac)
+        assert recomposed == pytest.approx(r.utilisation, rel=1e-6)
+
+
+def test_waste_render(runner):
+    rows = waste_breakdown(["CSMT"], "llll", 2, runner=runner)
+    text = render_waste(rows)
+    assert "CSMT" in text and "%" in text
+
+
+# ------------------------------------------------------------------ CLI
+def test_parser_commands():
+    ap = build_parser()
+    args = ap.parse_args(["run", "--policy", "SMT", "--workload", "llll"])
+    assert args.command == "run" and args.policy == "SMT"
+    args = ap.parse_args(["fig", "14"])
+    assert args.number == 14
+    with pytest.raises(SystemExit):
+        ap.parse_args(["fig", "99"])
+    with pytest.raises(SystemExit):
+        ap.parse_args(["run", "--workload", "zzzz"])
+
+
+def test_cli_run_quick(capsys):
+    rc = main(["--quick", "run", "--policy", "SMT", "--workload", "llll",
+               "--threads", "2"])
+    assert rc == 0
+    out = json.loads(capsys.readouterr().out)
+    assert out["ipc"] > 0
+
+
+# ------------------------------------------------------------------ report
+def _fake_results():
+    return {
+        "fig13a": [
+            {"benchmark": "mcf", "ilp": "l", "description": "d",
+             "ipcr": 1.1, "ipcp": 1.6, "paper_ipcr": 0.96,
+             "paper_ipcp": 1.34},
+        ],
+        "fig14": [
+            {"threads": 2, "workload": "llll", "NS": 1.0, "AS": 2.0},
+            {"threads": 2, "workload": "avg", "NS": 1.0, "AS": 2.0},
+        ],
+        "fig15": [
+            {"threads": 4, "workload": "avg", "COSI NS": 1.0,
+             "COSI AS": 2.0, "OOSI NS": 3.0, "OOSI AS": 4.0},
+        ],
+        "fig16": [
+            {"threads": 2, "policy": "CSMT", "ipc": 3.5},
+            {"threads": 4, "policy": "CSMT", "ipc": 4.5},
+        ],
+        "claims": [
+            {"name": "x", "paper": 6.1, "measured": 2.0, "holds": True},
+        ],
+    }
+
+
+def test_render_report_structure():
+    text = render_report(_fake_results(), "test scale")
+    assert "# EXPERIMENTS" in text
+    assert "Fig. 13a" in text and "Fig. 14" in text
+    assert "Fig. 15" in text and "Fig. 16" in text
+    assert "holds" in text
+    assert "Known divergences" in text
+    assert "| mcf | l | 0.96 | 1.10 | 1.34 | 1.60 |" in text

@@ -1,0 +1,105 @@
+"""Experiment harness: workloads, runner memoisation, figure structure."""
+
+import pytest
+
+from repro.harness.experiment import (
+    ExperimentRunner,
+    ExperimentScale,
+)
+from repro.harness.figures import FIG16_POLICIES, fig14, fig15, fig16
+from repro.harness.workloads import (
+    WORKLOAD_ORDER,
+    WORKLOADS,
+    validate_workloads,
+)
+from repro.kernels import SUITE
+
+TINY = ExperimentScale(
+    kernel_scale=0.06, target_instructions=1_500, timeslice=800
+)
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(TINY)
+
+
+def test_nine_workloads_in_paper_order():
+    assert WORKLOAD_ORDER == [
+        "llll", "lmmh", "mmmm", "llmm", "llmh", "llhh", "lmhh", "mmhh",
+        "hhhh",
+    ]
+
+
+def test_workload_members_exist():
+    for members in WORKLOADS.values():
+        for m in members:
+            assert m in SUITE
+
+
+def test_workload_names_match_classes():
+    validate_workloads()  # raises on mismatch
+
+
+def test_paper_fig13b_rows():
+    assert WORKLOADS["llll"] == ("mcf", "bzip2", "blowfish", "gsmencode")
+    assert WORKLOADS["hhhh"] == ("x264", "idct", "imgpipe", "colorspace")
+    assert WORKLOADS["mmhh"] == ("djpeg", "g721decode", "idct", "colorspace")
+
+
+def test_runner_memoises(runner):
+    a = runner.run("SMT", "llll", 2)
+    b = runner.run("SMT", "llll", 2)
+    assert a is b
+
+
+def test_runner_accepts_policy_objects(runner):
+    from repro.core.policies import SMT
+
+    assert runner.run(SMT, "llll", 2) is runner.run("SMT", "llll", 2)
+
+
+def test_speedup_definition(runner):
+    s = runner.speedup("SMT", "SMT", "llll", 2)
+    assert s == pytest.approx(0.0)
+
+
+def test_average_ipc_positive(runner):
+    assert runner.average_ipc("SMT", 2) > 0
+
+
+def test_fig14_structure(runner):
+    rows = fig14(runner=runner)
+    assert len(rows) == 2 * (len(WORKLOAD_ORDER) + 1)
+    for r in rows:
+        assert set(r) == {"threads", "workload", "NS", "AS"}
+    avg_rows = [r for r in rows if r["workload"] == "avg"]
+    assert len(avg_rows) == 2
+
+
+def test_fig15_structure(runner):
+    rows = fig15(runner=runner)
+    assert len(rows) == 2 * (len(WORKLOAD_ORDER) + 1)
+    for r in rows:
+        assert {"COSI NS", "COSI AS", "OOSI NS", "OOSI AS"} <= set(r)
+
+
+def test_fig16_structure(runner):
+    rows = fig16(runner=runner)
+    assert len(rows) == 2 * len(FIG16_POLICIES)
+    for r in rows:
+        assert r["ipc"] > 0
+
+
+def test_smt_beats_csmt_on_average(runner):
+    """Operation-level merging dominates cluster-level merging (paper
+    Fig. 16: SMT > CSMT at both thread counts)."""
+    for nt in (2, 4):
+        assert runner.average_ipc("SMT", nt) > runner.average_ipc(
+            "CSMT", nt
+        ) * 0.99
+
+
+def test_four_threads_beat_two(runner):
+    for pol in ("CSMT", "SMT"):
+        assert runner.average_ipc(pol, 4) > runner.average_ipc(pol, 2) * 0.95

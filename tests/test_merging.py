@@ -1,0 +1,219 @@
+"""Merge hardware model (repro.core.merging) unit tests."""
+
+import pytest
+
+from repro.arch.config import PAPER_MACHINE, ClusterConfig, MachineConfig
+from repro.core.merging import MergeEngine
+from repro.core.splitstate import PendingInstruction
+from repro.isa.opcodes import Opcode
+from repro.isa.operation import Operation, VLIWInstruction
+from repro.isa.program import Program
+from repro.pipeline.trace import build_static_table
+
+
+def make_table(instr_specs, cfg=PAPER_MACHINE):
+    """instr_specs: list of op lists [(opcode, cluster), ...]."""
+    instrs = []
+    for spec in instr_specs:
+        ops = []
+        xid = 0
+        for opc, c in spec:
+            if opc is Opcode.SEND:
+                ops.append(Operation(opc, cluster=c, srcs=(1,), xfer_id=xid))
+            elif opc is Opcode.RECV:
+                ops.append(Operation(opc, cluster=c, dst=1, xfer_id=xid))
+                xid += 1
+            elif opc in (Opcode.LDW,):
+                ops.append(Operation(opc, cluster=c, dst=1, srcs=(2,)))
+            elif opc in (Opcode.STW,):
+                ops.append(Operation(opc, cluster=c, srcs=(1, 2)))
+            else:
+                ops.append(Operation(opc, cluster=c, dst=1, srcs=(2, 3)))
+        instrs.append(VLIWInstruction(ops))
+    instrs.append(VLIWInstruction([Operation(Opcode.HALT, cluster=0)]))
+    program = Program(instrs, cfg.n_clusters, name="t")
+    return build_static_table(program, cfg)
+
+
+def pend(table, i, split="none", comm_split=True):
+    return PendingInstruction(table, i, split, comm_split)
+
+
+A, M, L, S = Opcode.ADD, Opcode.MPY, Opcode.LDW, Opcode.STW
+
+
+def test_cluster_merge_disjoint_clusters():
+    t = make_table([[(A, 0), (A, 1)], [(A, 2), (A, 3)]])
+    e = MergeEngine(PAPER_MACHINE, "cluster")
+    assert e.try_whole(pend(t, 0))
+    assert e.try_whole(pend(t, 1))
+
+
+def test_cluster_merge_rejects_shared_cluster():
+    t = make_table([[(A, 0), (A, 1)], [(A, 1), (A, 2)]])
+    e = MergeEngine(PAPER_MACHINE, "cluster")
+    assert e.try_whole(pend(t, 0))
+    assert not e.try_whole(pend(t, 1))
+
+
+def test_op_merge_allows_shared_cluster_within_capacity():
+    t = make_table([[(A, 0), (A, 0)], [(A, 0), (A, 0)]])
+    e = MergeEngine(PAPER_MACHINE, "op")
+    assert e.try_whole(pend(t, 0))
+    assert e.try_whole(pend(t, 1))  # 4 ALU ops fit in one 4-issue cluster
+
+
+def test_op_merge_respects_slot_capacity():
+    t = make_table([
+        [(A, 0), (A, 0), (A, 0)],
+        [(A, 0), (A, 0)],
+    ])
+    e = MergeEngine(PAPER_MACHINE, "op")
+    assert e.try_whole(pend(t, 0))
+    assert not e.try_whole(pend(t, 1))  # 3 + 2 > 4 slots
+
+
+def test_op_merge_respects_fu_capacity():
+    # 2 multipliers per cluster: 2 + 1 MPYs collide even with slots free
+    t = make_table([[(M, 0), (M, 0)], [(M, 0)]])
+    e = MergeEngine(PAPER_MACHINE, "op")
+    assert e.try_whole(pend(t, 0))
+    assert not e.try_whole(pend(t, 1))
+
+
+def test_op_merge_respects_mem_port():
+    t = make_table([[(L, 0)], [(S, 0)]])
+    e = MergeEngine(PAPER_MACHINE, "op")
+    assert e.try_whole(pend(t, 0))
+    assert not e.try_whole(pend(t, 1))  # 1 mem port per cluster
+
+
+def test_csmt_vs_smt_fig1_pair_semantics():
+    """If CSMT can merge a pair, SMT always can (paper: 'if a pair of
+    instructions can be merged by CSMT, it can always be merged by
+    SMT but not vice-versa')."""
+    specs = [
+        [(A, 0), (A, 1)],
+        [(A, 2), (A, 3)],
+        [(A, 0), (A, 2)],
+        [(A, 1), (A, 0)],
+    ]
+    t = make_table(specs)
+    for i in range(len(specs)):
+        for j in range(len(specs)):
+            if i == j:
+                continue
+            ec = MergeEngine(PAPER_MACHINE, "cluster")
+            eo = MergeEngine(PAPER_MACHINE, "op")
+            ec.try_whole(pend(t, i))
+            eo.try_whole(pend(t, i))
+            if ec.try_whole(pend(t, j)):
+                assert eo.try_whole(pend(t, j))
+
+
+def test_try_bundles_partial_issue():
+    t = make_table([[(A, 0), (A, 1), (A, 2)], [(A, 0)]])
+    e = MergeEngine(PAPER_MACHINE, "cluster")
+    assert e.try_whole(pend(t, 1))  # cluster 0 now busy
+    p = pend(t, 0, split="cluster")
+    mask, ops = e.try_bundles(p)
+    assert mask == 0b110  # clusters 1 and 2 issued, 0 pending
+    assert ops == 2
+    assert p.pending_mask == 0b001
+    assert not p.done and p.was_split
+
+
+def test_try_bundles_completes_later():
+    t = make_table([[(A, 0), (A, 1)], [(A, 0)]])
+    e = MergeEngine(PAPER_MACHINE, "cluster")
+    e.try_whole(pend(t, 1))
+    p = pend(t, 0, split="cluster")
+    e.try_bundles(p)
+    assert p.pending_mask == 0b001
+    e.begin_cycle()
+    mask, ops = e.try_bundles(p)
+    assert mask == 0b001 and p.done
+
+
+def test_ns_atomicity_for_icc_instructions():
+    t = make_table([
+        [(Opcode.SEND, 0), (Opcode.RECV, 1)],
+        [(A, 0)],
+    ])
+    e = MergeEngine(PAPER_MACHINE, "cluster")
+    assert e.try_whole(pend(t, 1))
+    # NS: the ICC instruction must not split; cluster 0 is busy -> nothing
+    p = pend(t, 0, split="cluster", comm_split=False)
+    assert p.atomic
+    mask, ops = e.try_bundles(p)
+    assert mask == 0 and ops == 0
+
+
+def test_as_splits_icc_instructions():
+    t = make_table([
+        [(Opcode.SEND, 0), (Opcode.RECV, 1)],
+        [(A, 0)],
+    ])
+    e = MergeEngine(PAPER_MACHINE, "cluster")
+    assert e.try_whole(pend(t, 1))
+    p = pend(t, 0, split="cluster", comm_split=True)
+    assert not p.atomic
+    mask, ops = e.try_bundles(p)
+    assert mask == 0b010 and ops == 1
+
+
+def test_try_ops_greedy_fill():
+    t = make_table([
+        [(A, 0), (A, 0), (A, 0)],
+        [(A, 0), (A, 0), (A, 1)],
+    ])
+    e = MergeEngine(PAPER_MACHINE, "op")
+    assert e.try_whole(pend(t, 0))
+    p = pend(t, 1, split="op")
+    n, cmask, mem = e.try_ops(p)
+    assert n == 2  # one slot left at cluster 0 + the cluster-1 op
+    assert not p.done
+    e.begin_cycle()
+    n2, _, _ = e.try_ops(p)
+    assert n2 == 1 and p.done
+
+
+def test_try_ops_mem_mask():
+    t = make_table([[(L, 0), (A, 1)]])
+    e = MergeEngine(PAPER_MACHINE, "op")
+    p = pend(t, 0, split="op")
+    n, cmask, mem = e.try_ops(p)
+    assert n == 2 and mem == 0b001 and cmask == 0b011
+
+
+def test_highest_priority_thread_always_issues_fully():
+    """Paper: 'Thread T0 is always selected in its entirety because it
+    is the highest priority thread' — a fresh engine always accepts a
+    legal instruction."""
+    t = make_table([[(A, c) for c in range(4)] * 2])  # 8 ops, 2/cluster
+    for merge in ("op", "cluster"):
+        e = MergeEngine(PAPER_MACHINE, merge)
+        assert e.try_whole(pend(t, 0))
+
+
+def test_merge_engine_rejects_bad_level():
+    with pytest.raises(ValueError):
+        MergeEngine(PAPER_MACHINE, "operation")
+
+
+def test_resync_after_partial_op_issue():
+    """After try_ops partially issues, the packed remaining must agree
+    with the scalar counters so later atomic checks stay exact."""
+    t = make_table([
+        [(A, 0), (M, 0), (L, 0)],
+        [(A, 0), (A, 0), (M, 0), (L, 0)],
+        [(A, 0)],
+    ])
+    e = MergeEngine(PAPER_MACHINE, "op")
+    e.try_whole(pend(t, 0))
+    p = pend(t, 1, split="op")
+    e.try_ops(p)
+    # remaining slots at cluster 0: 4 - 3 - issued
+    p2 = pend(t, 2)
+    fits = e.try_whole(p2)
+    assert fits == (e.slot_free[0] >= 0 and fits)

@@ -1,0 +1,102 @@
+"""Opcode table invariants (repro.isa.opcodes)."""
+
+import pytest
+
+from repro.isa.opcodes import (
+    BRANCHES,
+    CMP_TO_BRANCH_DELAY,
+    COMPARES,
+    FU_OF,
+    INFO,
+    LOADS,
+    MEMOPS,
+    STORES,
+    FUClass,
+    Opcode,
+)
+
+
+def test_every_opcode_has_fu():
+    for op in Opcode:
+        assert op in FU_OF
+
+
+def test_every_opcode_has_info():
+    for op in Opcode:
+        info = INFO[op]
+        assert info.opcode is op
+        assert info.fu is FU_OF[op]
+
+
+def test_paper_latencies_memory_and_multiply_two_cycles():
+    # §IV: "Memory and multiply operations have a latency of 2 cycles,
+    # and the rest have single-cycle latency."
+    for op in LOADS:
+        assert INFO[op].latency == 2
+    for op in (Opcode.MPY, Opcode.MPYH, Opcode.MPYSHR15):
+        assert INFO[op].latency == 2
+
+
+def test_alu_ops_single_cycle():
+    for op in (Opcode.ADD, Opcode.SUB, Opcode.XOR, Opcode.SHL, Opcode.MOV,
+               Opcode.MIN, Opcode.MAX, Opcode.CMPEQ, Opcode.SXTB):
+        assert INFO[op].latency == 1
+
+
+def test_loads_and_stores_partition_memops():
+    assert LOADS | STORES == MEMOPS
+    assert not LOADS & STORES
+
+
+def test_loads_read_stores_write():
+    for op in LOADS:
+        assert INFO[op].reads_mem and not INFO[op].writes_mem
+    for op in STORES:
+        assert INFO[op].writes_mem and not INFO[op].reads_mem
+
+
+def test_branches_on_branch_unit():
+    for op in BRANCHES:
+        assert FU_OF[op] is FUClass.BRANCH
+        assert INFO[op].is_branch
+
+
+def test_send_recv_on_copy_port():
+    assert FU_OF[Opcode.SEND] is FUClass.COPY
+    assert FU_OF[Opcode.RECV] is FUClass.COPY
+
+
+def test_compares_are_alu():
+    for op in COMPARES:
+        assert FU_OF[op] is FUClass.ALU
+
+
+def test_cmpbr_is_alu_class():
+    assert FU_OF[Opcode.CMPBR] is FUClass.ALU
+
+
+def test_mul_ops_on_multiplier():
+    for op in (Opcode.MPY, Opcode.MPYH, Opcode.MPYSHR15):
+        assert FU_OF[op] is FUClass.MUL
+
+
+def test_mem_ops_on_memory_unit():
+    for op in MEMOPS:
+        assert FU_OF[op] is FUClass.MEM
+
+
+def test_cmp_to_branch_delay_matches_paper():
+    # §IV: "There is a 2-cycle delay from compare to branch"
+    assert CMP_TO_BRANCH_DELAY == 2
+
+
+def test_nop_is_alu_and_cheap():
+    assert INFO[Opcode.NOP].latency == 1
+
+
+@pytest.mark.parametrize("op", list(Opcode))
+def test_info_flags_consistent(op):
+    info = INFO[op]
+    assert info.reads_mem == (op in LOADS)
+    assert info.writes_mem == (op in STORES)
+    assert info.is_branch == (op in BRANCHES)

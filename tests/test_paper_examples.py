@@ -1,0 +1,224 @@
+"""Cycle-by-cycle reproductions of the paper's worked examples
+(Figures 1, 5 and 6)."""
+
+from repro.core.merging import MergeEngine
+from repro.core.splitstate import PendingInstruction
+from repro.isa.opcodes import Opcode
+from repro.isa.operation import Operation, VLIWInstruction
+from repro.isa.program import Program
+from repro.pipeline.trace import build_static_table
+
+A = Opcode.ADD
+
+
+def table_from_slots(instr_cluster_slots, cfg):
+    """Build a static table from per-instruction {cluster: n_ops} maps.
+
+    The paper's examples treat issue slots as the only critical
+    resource, so every op is an ALU op on machines with ALU count =
+    issue width.
+    """
+    instrs = []
+    for slots in instr_cluster_slots:
+        ops = []
+        for c, n in slots.items():
+            ops.extend(
+                Operation(A, cluster=c, dst=1, srcs=(2, 3))
+                for _ in range(n)
+            )
+        instrs.append(VLIWInstruction(ops))
+    instrs.append(VLIWInstruction([Operation(Opcode.HALT, cluster=0)]))
+    return build_static_table(Program(instrs, cfg.n_clusters, name="ex"), cfg)
+
+
+# ----------------------------------------------------------------- Fig. 1
+# 4-cluster, 2-issue-per-cluster machine; three pairs of instructions.
+def test_fig1_pair1_neither_merges(fig1_machine):
+    # conflicts at clusters 0, 1, 3 both at op and cluster level
+    t = table_from_slots(
+        [
+            {0: 2, 1: 1, 3: 2},  # thread 0
+            {0: 1, 1: 2, 3: 1},  # thread 1
+        ],
+        fig1_machine,
+    )
+    for merge in ("cluster", "op"):
+        e = MergeEngine(fig1_machine, merge)
+        assert e.try_whole(PendingInstruction(t, 0, "none", False))
+        assert not e.try_whole(PendingInstruction(t, 1, "none", False))
+
+
+def test_fig1_pair2_smt_only(fig1_machine):
+    # no operation-level conflicts, but both threads use clusters 0,2,3
+    t = table_from_slots(
+        [
+            {0: 1, 2: 1, 3: 1},
+            {0: 1, 2: 1, 3: 1},
+        ],
+        fig1_machine,
+    )
+    e_smt = MergeEngine(fig1_machine, "op")
+    assert e_smt.try_whole(PendingInstruction(t, 0, "none", False))
+    assert e_smt.try_whole(PendingInstruction(t, 1, "none", False))
+    e_csmt = MergeEngine(fig1_machine, "cluster")
+    assert e_csmt.try_whole(PendingInstruction(t, 0, "none", False))
+    assert not e_csmt.try_whole(PendingInstruction(t, 1, "none", False))
+
+
+def test_fig1_pair3_both_merge(fig1_machine):
+    # thread 0 uses only clusters 1 and 2, unused by thread 1
+    t = table_from_slots(
+        [
+            {1: 2, 2: 1},
+            {0: 2, 3: 2},
+        ],
+        fig1_machine,
+    )
+    for merge in ("cluster", "op"):
+        e = MergeEngine(fig1_machine, merge)
+        assert e.try_whole(PendingInstruction(t, 0, "none", False))
+        assert e.try_whole(PendingInstruction(t, 1, "none", False))
+
+
+# ----------------------------------------------------------------- Fig. 5
+# 2-cluster, 3-issue-per-cluster machine.  The figure's exact opcode grid
+# is corrupted in the source text, so the shapes below are reconstructed
+# from the prose: T0's Ins0 uses 2 slots in cluster 0 and 1 in cluster 1;
+# T1's Ins0 uses 2 slots in both; without split-issue no merge is
+# possible at any cycle (4 cycles), with OOSI or COSI it takes 3; COSI's
+# cycle 2 merges T0's pending cluster-0 bundle with T1's Ins1.
+# Priorities rotate every cycle, T0 first.
+T0_INS = [{0: 2, 1: 1}, {0: 2, 1: 2}]
+T1_INS = [{0: 2, 1: 2}, {0: 1, 1: 2}]
+
+
+def _run_fig5(cfg, split, merge):
+    """Simulate the two threads; returns (cycles, log of issued ops)."""
+    t = table_from_slots(T0_INS + T1_INS, cfg)
+    ptr = [0, 2]  # next instruction index per thread
+    limit = [2, 4]
+    pend = [None, None]
+    e = MergeEngine(cfg, merge)
+    cycles = 0
+    log = []
+    while (ptr[0] < limit[0] or ptr[1] < limit[1]
+           or any(p is not None for p in pend)):
+        e.begin_cycle()
+        order = (0, 1) if cycles % 2 == 0 else (1, 0)
+        issued = {0: 0, 1: 0}
+        for th in order:
+            if pend[th] is None:
+                if ptr[th] >= limit[th]:
+                    continue
+                pend[th] = PendingInstruction(t, ptr[th], split, True)
+                ptr[th] += 1
+            p = pend[th]
+            if split == "none":
+                if e.try_whole(p):
+                    issued[th] = p.ops_total
+            elif split == "cluster":
+                _, n = e.try_bundles(p)
+                issued[th] = n
+            else:
+                n, _, _ = e.try_ops(p)
+                issued[th] = n
+            if p.done:
+                pend[th] = None
+        log.append(issued)
+        cycles += 1
+        assert cycles < 20
+    return cycles, log
+
+
+def test_fig5_without_split_takes_4_cycles(slots_only_machine):
+    cycles, _ = _run_fig5(slots_only_machine, "none", "op")
+    assert cycles == 4
+
+
+def test_fig5_oosi_takes_3_cycles(slots_only_machine):
+    cycles, log = _run_fig5(slots_only_machine, "op", "op")
+    assert cycles == 3
+    # cycle 0: T0's Ins0 (3 ops) plus 3 ops from T1 (one in the free
+    # cluster-0 slot, two in cluster 1)
+    assert log[0] == {0: 3, 1: 3}
+
+
+def test_fig5_cosi_takes_3_cycles(slots_only_machine):
+    cycles, log = _run_fig5(slots_only_machine, "cluster", "op")
+    assert cycles == 3
+    # cycle 0: T0 issues fully; T1 can only take cluster 1's bundle
+    # (its c0 bundle of 2 won't fit with T0's 2 in 3 slots)
+    assert log[0] == {0: 3, 1: 2}
+    # cycle 2 merges T0's pending cluster-0 bundle with T1's Ins1
+    assert log[2][0] > 0 and log[2][1] > 0
+
+
+def test_fig5_oosi_more_efficient_than_cosi(slots_only_machine):
+    """Paper: 'OOSI is more efficient than COSI' — at cycle 2 COSI still
+    issues operations from both threads while OOSI has fully drained
+    thread 0 earlier."""
+    _, log_oosi = _run_fig5(slots_only_machine, "op", "op")
+    _, log_cosi = _run_fig5(slots_only_machine, "cluster", "op")
+    assert sum(log_oosi[k][0] for k in range(2)) >= sum(
+        log_cosi[k][0] for k in range(2)
+    )
+
+
+# ----------------------------------------------------------------- Fig. 6
+# CCSI example: T0's Ins0 uses only cluster 0, T1's Ins0 uses both
+# clusters (prose); T0's Ins1 uses only cluster 1 (it issues at cycle 1
+# alongside T1's pending cluster-0 bundle "as cluster 1 is no longer
+# used by Thread 1"); without split 4 cycles, with CCSI 3 cycles.
+def _run_fig6(cfg, split):
+    t = table_from_slots(
+        [
+            {0: 3},          # T0 Ins0
+            {1: 1},          # T0 Ins1
+            {0: 2, 1: 2},    # T1 Ins0
+            {0: 2, 1: 1},    # T1 Ins1
+        ],
+        cfg,
+    )
+    ptr = [0, 2]
+    limit = [2, 4]
+    pend = [None, None]
+    e = MergeEngine(cfg, "cluster")
+    cycles = 0
+    log = []
+    while (ptr[0] < limit[0] or ptr[1] < limit[1]
+           or any(p is not None for p in pend)):
+        e.begin_cycle()
+        order = (0, 1) if cycles % 2 == 0 else (1, 0)
+        issued = {0: 0, 1: 0}
+        for th in order:
+            if pend[th] is None:
+                if ptr[th] >= limit[th]:
+                    continue
+                pend[th] = PendingInstruction(t, ptr[th], split, True)
+                ptr[th] += 1
+            p = pend[th]
+            if split == "none":
+                if e.try_whole(p):
+                    issued[th] = p.ops_total
+            else:
+                _, n = e.try_bundles(p)
+                issued[th] = n
+            if p.done:
+                pend[th] = None
+        log.append(issued)
+        cycles += 1
+        assert cycles < 20
+    return cycles, log
+
+
+def test_fig6_without_split_takes_4_cycles(slots_only_machine):
+    cycles, _ = _run_fig6(slots_only_machine, "none")
+    assert cycles == 4
+
+
+def test_fig6_ccsi_takes_3_cycles(slots_only_machine):
+    cycles, log = _run_fig6(slots_only_machine, "cluster")
+    assert cycles == 3
+    # cycle 0: T0's 3 ops at cluster 0, T1's cluster-1 bundle (1... the
+    # figure shows T1's c1 bundle 'shl - sub' issuing with T0)
+    assert log[0][0] == 3 and log[0][1] == 2

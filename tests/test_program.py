@@ -1,0 +1,143 @@
+"""Program container validation (repro.isa.program)."""
+
+import pytest
+
+from repro.isa.opcodes import Opcode
+from repro.isa.operation import Bundle, Operation, VLIWInstruction
+from repro.isa.program import DataSegment, Program
+
+
+def op(opc, cluster=0, **kw):
+    return Operation(opc, cluster=cluster, **kw)
+
+
+def halt():
+    return VLIWInstruction([op(Opcode.HALT)])
+
+
+def test_pcs_and_indices_assigned():
+    p = Program([VLIWInstruction([op(Opcode.ADD, dst=1, srcs=(1, 2))]),
+                 halt()], 4)
+    assert p[0].pc == 0 and p[0].index == 0
+    assert p[1].pc == p[0].size_bytes and p[1].index == 1
+    assert p.code_bytes == p[0].size_bytes + p[1].size_bytes
+
+
+def test_size_bytes_scales_with_ops():
+    one = VLIWInstruction([op(Opcode.ADD, dst=1, srcs=(1, 2))])
+    three = VLIWInstruction([
+        op(Opcode.ADD, dst=1, srcs=(1, 2)),
+        op(Opcode.SUB, cluster=1, dst=1, srcs=(1, 2)),
+        op(Opcode.XOR, cluster=2, dst=1, srcs=(1, 2)),
+    ])
+    assert three.size_bytes == one.size_bytes + 8
+
+
+def test_rejects_branch_outside_cluster0():
+    bad = VLIWInstruction([Operation(Opcode.GOTO, cluster=1, target=0)])
+    with pytest.raises(ValueError):
+        Program([bad, halt()], 4)
+
+
+def test_rejects_two_branches_in_one_instruction():
+    bad = VLIWInstruction([
+        Operation(Opcode.GOTO, cluster=0, target=0),
+        Operation(Opcode.BR, cluster=0, imm=0, target=0),
+    ])
+    with pytest.raises(ValueError):
+        Program([bad, halt()], 4)
+
+
+def test_rejects_out_of_range_target():
+    bad = VLIWInstruction([Operation(Opcode.GOTO, cluster=0, target=99)])
+    with pytest.raises(ValueError):
+        Program([bad, halt()], 4)
+
+
+def test_rejects_bad_cluster():
+    bad = VLIWInstruction([op(Opcode.ADD, cluster=7, dst=1, srcs=(1, 2))])
+    with pytest.raises(ValueError):
+        Program([bad, halt()], 4)
+
+
+def test_rejects_unpaired_send():
+    bad = VLIWInstruction([
+        Operation(Opcode.SEND, cluster=0, srcs=(1,), xfer_id=0)
+    ])
+    with pytest.raises(ValueError):
+        Program([bad, halt()], 4)
+
+
+def test_rejects_same_cluster_xfer():
+    bad = VLIWInstruction([
+        Operation(Opcode.SEND, cluster=0, srcs=(1,), xfer_id=0),
+        Operation(Opcode.RECV, cluster=0, dst=2, xfer_id=0),
+    ])
+    with pytest.raises(ValueError):
+        Program([bad, halt()], 4)
+
+
+def test_accepts_paired_xfer():
+    good = VLIWInstruction([
+        Operation(Opcode.SEND, cluster=0, srcs=(1,), xfer_id=0),
+        Operation(Opcode.RECV, cluster=1, dst=2, xfer_id=0),
+    ])
+    p = Program([good, halt()], 4)
+    assert p[0].has_icc()
+
+
+def test_cluster_mask():
+    ins = VLIWInstruction([
+        op(Opcode.ADD, cluster=0, dst=1, srcs=(1, 2)),
+        op(Opcode.ADD, cluster=3, dst=1, srcs=(1, 2)),
+    ])
+    assert ins.cluster_mask() == 0b1001
+
+
+def test_bundles_grouping():
+    ins = VLIWInstruction([
+        op(Opcode.ADD, cluster=2, dst=1, srcs=(1, 2)),
+        op(Opcode.SUB, cluster=2, dst=3, srcs=(1, 2)),
+        op(Opcode.ADD, cluster=0, dst=1, srcs=(1, 2)),
+    ])
+    bundles = ins.bundles(4)
+    assert len(bundles[2]) == 2 and len(bundles[0]) == 1
+    assert len(bundles[1]) == 0
+    assert all(isinstance(b, Bundle) for b in bundles)
+
+
+def test_branch_op_lookup():
+    ins = VLIWInstruction([
+        op(Opcode.ADD, dst=1, srcs=(1, 2)),
+        Operation(Opcode.GOTO, cluster=0, target=0),
+    ])
+    assert ins.branch_op().opcode is Opcode.GOTO
+    assert VLIWInstruction([]).branch_op() is None
+
+
+def test_static_stats():
+    p = Program([
+        VLIWInstruction([op(Opcode.LDW, dst=1, srcs=(2,))]),
+        VLIWInstruction([
+            Operation(Opcode.SEND, cluster=0, srcs=(1,), xfer_id=0),
+            Operation(Opcode.RECV, cluster=1, dst=2, xfer_id=0),
+        ]),
+        halt(),
+    ], 4)
+    s = p.static_stats()
+    assert s["instructions"] == 3
+    assert s["mem_ops"] == 1
+    assert 0 < s["icc_instr_frac"] < 1
+
+
+def test_data_segment_bounds():
+    d = DataSegment(size=128)
+    with pytest.raises(ValueError):
+        d.set_word(128, 1)
+    d.set_word(124, 5)
+    assert d.words[124] == 5
+
+
+def test_halt_needs_no_target():
+    p = Program([halt()], 4)
+    assert len(p) == 1

@@ -1,0 +1,141 @@
+"""SWAR packed resource arithmetic (repro.arch.resources)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.arch.config import PAPER_MACHINE, ClusterConfig, MachineConfig
+from repro.arch.resources import (
+    capacity_packed,
+    cluster_lane_mask,
+    fits_packed,
+    guards_mask,
+    pack_cluster,
+    pack_usage,
+    unpack_usage,
+    usage_of_ops,
+)
+from repro.isa.operation import Operation
+from repro.isa.opcodes import Opcode
+
+
+def test_pack_unpack_roundtrip_simple():
+    u = [(1, 1, 0, 0), (4, 2, 1, 1), (0, 0, 0, 0), (3, 2, 0, 1)]
+    assert unpack_usage(pack_usage(u), 4) == u
+
+
+def test_pack_cluster_rejects_overflow():
+    with pytest.raises(ValueError):
+        pack_cluster(8, 0, 0, 0)
+    with pytest.raises(ValueError):
+        pack_cluster(0, 0, 0, -1)
+
+
+def test_capacity_of_paper_machine():
+    cap = unpack_usage(capacity_packed(PAPER_MACHINE), 4)
+    assert cap == [(4, 4, 2, 1)] * 4
+
+
+def test_fits_exact_capacity():
+    g = guards_mask(4)
+    cap = capacity_packed(PAPER_MACHINE)
+    assert fits_packed(cap, cap, g)
+
+
+def test_fits_rejects_one_over():
+    g = guards_mask(4)
+    cap = capacity_packed(PAPER_MACHINE)
+    over = pack_usage([(0, 0, 0, 0)] * 3 + [(0, 0, 0, 2)])  # 2 mem > 1
+    assert not fits_packed(cap, over, g)
+
+
+def test_fits_zero_usage_always():
+    g = guards_mask(4)
+    assert fits_packed(0, 0, g)
+    assert fits_packed(capacity_packed(PAPER_MACHINE), 0, g)
+
+
+def test_fits_checks_every_field_independently():
+    g = guards_mask(2)
+    rem = pack_usage([(3, 3, 1, 1), (1, 1, 0, 0)])
+    ok = pack_usage([(3, 3, 1, 1), (1, 1, 0, 0)])
+    assert fits_packed(rem, ok, g)
+    # exceed only cluster 1 slots
+    bad = pack_usage([(0, 0, 0, 0), (2, 1, 0, 0)])
+    assert not fits_packed(rem, bad, g)
+
+
+usage_strategy = st.lists(
+    st.tuples(
+        st.integers(0, 4),
+        st.integers(0, 4),
+        st.integers(0, 2),
+        st.integers(0, 1),
+    ),
+    min_size=4,
+    max_size=4,
+)
+
+
+@given(usage_strategy)
+def test_roundtrip_property(u):
+    assert unpack_usage(pack_usage(u), 4) == u
+
+
+@given(usage_strategy, usage_strategy)
+def test_fits_matches_fieldwise_comparison(a, b):
+    """fits_packed == all fields of b <= fields of a (the scalar oracle)."""
+    g = guards_mask(4)
+    expected = all(
+        bb <= aa for ca, cb in zip(a, b) for aa, bb in zip(ca, cb)
+    )
+    assert fits_packed(pack_usage(a), pack_usage(b), g) == expected
+
+
+@given(usage_strategy, usage_strategy)
+def test_subtract_then_fits(a, b):
+    """If b fits in a, then (a - b) unpacks to the field-wise difference."""
+    g = guards_mask(4)
+    pa, pb = pack_usage(a), pack_usage(b)
+    if fits_packed(pa, pb, g):
+        diff = unpack_usage(pa - pb, 4)
+        for ca, cb, cd in zip(a, b, diff):
+            assert tuple(x - y for x, y in zip(ca, cb)) == cd
+
+
+def test_cluster_lane_mask():
+    m = cluster_lane_mask(0b0101, 4)
+    assert m == 0xFFFF | (0xFFFF << 32)
+
+
+def test_usage_of_ops_counts_fu_classes():
+    ops = [
+        Operation(Opcode.ADD, cluster=0, dst=1, srcs=(2, 3)),
+        Operation(Opcode.MPY, cluster=0, dst=4, srcs=(5, 6)),
+        Operation(Opcode.LDW, cluster=1, dst=7, srcs=(8,)),
+        Operation(Opcode.SEND, cluster=2, srcs=(9,), xfer_id=0),
+    ]
+    u = unpack_usage(usage_of_ops(ops, 4), 4)
+    assert u[0] == (2, 1, 1, 0)  # slots=2, alu=1, mul=1
+    assert u[1] == (1, 0, 0, 1)  # one load
+    assert u[2] == (1, 0, 0, 0)  # send: slot only
+    assert u[3] == (0, 0, 0, 0)
+
+
+def test_usage_of_branch_consumes_slot_only():
+    ops = [Operation(Opcode.GOTO, cluster=0, target=0)]
+    u = unpack_usage(usage_of_ops(ops, 4), 4)
+    assert u[0] == (1, 0, 0, 0)
+
+
+def test_guards_mask_width():
+    assert guards_mask(1) == 0x8888
+    assert guards_mask(2) == 0x8888_8888
+
+
+def test_small_machine_capacity():
+    cfg = MachineConfig(
+        n_clusters=2,
+        cluster=ClusterConfig(issue_width=3, n_alu=3, n_mul=2, n_mem=1),
+    )
+    assert unpack_usage(capacity_packed(cfg), 2) == [(3, 3, 2, 1)] * 2

@@ -1,0 +1,128 @@
+"""Schedule legality: every compiled program must respect the machine's
+resource limits and the compiler-exposed latency contract.
+
+These checks are the compiler's acceptance tests — they re-derive, from
+the *scheduled* program, the constraints the paper's machine demands
+(§IV), independently of the scheduler implementation.
+"""
+
+import pytest
+
+from repro.arch.config import PAPER_MACHINE
+from repro.compiler.pipeline import compile_kernel
+from repro.isa.opcodes import FUClass, Opcode
+from repro.isa.program import Program
+
+from conftest import make_axpy, make_wide
+
+
+def check_resources(program: Program, cfg=PAPER_MACHINE) -> None:
+    cl = cfg.cluster
+    for ins in program:
+        slots = [0] * cfg.n_clusters
+        alu = [0] * cfg.n_clusters
+        mul = [0] * cfg.n_clusters
+        mem = [0] * cfg.n_clusters
+        branches = 0
+        for op in ins.ops:
+            slots[op.cluster] += 1
+            if op.fu is FUClass.ALU:
+                alu[op.cluster] += 1
+            elif op.fu is FUClass.MUL:
+                mul[op.cluster] += 1
+            elif op.fu is FUClass.MEM:
+                mem[op.cluster] += 1
+            elif op.fu is FUClass.BRANCH:
+                branches += 1
+        for c in range(cfg.n_clusters):
+            assert slots[c] <= cl.issue_width, f"slots at {ins.index}"
+            assert alu[c] <= cl.n_alu
+            assert mul[c] <= cl.n_mul
+            assert mem[c] <= cl.n_mem
+        assert branches <= 1
+
+
+def check_latencies_straightline(program: Program, cfg=PAPER_MACHINE):
+    """Within straight-line runs, a register read must come at least
+    `latency` instructions after its producing write (same cluster)."""
+    last_write: dict[tuple[int, int], tuple[int, int]] = {}
+    for ins in program:
+        i = ins.index
+        br = ins.branch_op()
+        for op in ins.ops:
+            if op.opcode in (Opcode.SEND, Opcode.RECV):
+                continue  # ICC handled separately
+            for s in op.srcs:
+                key = (op.cluster, s)
+                if key in last_write:
+                    wi, lat = last_write[key]
+                    assert i - wi >= lat or i == wi, (
+                        f"latency violation at instr {i}: reg {key} "
+                        f"written at {wi} lat {lat}"
+                    )
+        for op in ins.ops:
+            if op.dst is not None and op.opcode is not Opcode.CMPBR:
+                if op.opcode is Opcode.RECV:
+                    lat = cfg.icc_latency
+                else:
+                    lat = op.latency
+                last_write[(op.cluster, op.dst)] = (i, lat)
+        if br is not None:
+            last_write.clear()  # control flow: reset the straight-line scan
+
+
+def check_icc_pairing(program: Program):
+    for ins in program:
+        sends = {op.xfer_id for op in ins.ops if op.opcode is Opcode.SEND}
+        recvs = {op.xfer_id for op in ins.ops if op.opcode is Opcode.RECV}
+        assert sends == recvs
+
+
+def check_branch_is_last_of_block(program: Program):
+    """No operation of the same basic block may be scheduled after its
+    branch: equivalently, a branch's instruction is followed either by a
+    branch target or by the start of another block.  We check the local
+    property that at most one branch exists per instruction and branch
+    targets are valid."""
+    n = len(program)
+    for ins in program:
+        br = ins.branch_op()
+        if br is not None and br.opcode is not Opcode.HALT:
+            assert 0 <= br.target < n
+
+
+KERNEL_BUILDERS = {
+    "axpy": make_axpy,
+    "wide": make_wide,
+}
+
+
+@pytest.mark.parametrize("name", list(KERNEL_BUILDERS))
+def test_resource_legality(name):
+    program = compile_kernel(KERNEL_BUILDERS[name]()).program
+    check_resources(program)
+
+
+@pytest.mark.parametrize("name", list(KERNEL_BUILDERS))
+def test_latency_legality(name):
+    program = compile_kernel(KERNEL_BUILDERS[name]()).program
+    check_latencies_straightline(program)
+
+
+@pytest.mark.parametrize("name", list(KERNEL_BUILDERS))
+def test_icc_pairing(name):
+    program = compile_kernel(KERNEL_BUILDERS[name]()).program
+    check_icc_pairing(program)
+
+
+@pytest.mark.parametrize("name", list(KERNEL_BUILDERS))
+def test_branch_targets(name):
+    program = compile_kernel(KERNEL_BUILDERS[name]()).program
+    check_branch_is_last_of_block(program)
+
+
+def test_compile_stats_populated():
+    res = compile_kernel(make_axpy())
+    for key in ("instructions", "operations", "ops_per_instr",
+                "icc_transfers", "max_reg_pressure"):
+        assert key in res.stats

@@ -1,0 +1,275 @@
+"""Split-issue dataflow semantics (paper §II-A, §V-B, §V-E).
+
+Machine-checks the paper's three correctness arguments:
+
+1. with delay/write buffers, split execution at ANY granularity equals
+   atomic execution (the OOSI phase-I/phase-II organisation);
+2. WITHOUT buffers, cluster-boundary splits are still correct — bundles
+   touch disjoint register files (the key observation enabling cheap
+   cluster-level split-issue);
+3. without buffers, operation-level splits can break (Fig. 3's swap),
+   and precise-exception rollback is only possible with buffers.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.config import PAPER_MACHINE
+from repro.core.buffers import SplitVM
+from repro.isa.opcodes import Opcode
+from repro.isa.operation import Operation, VLIWInstruction
+from repro.isa.program import DataSegment, Program
+from repro.vm.machine import VM, VMError
+
+
+def movi(c, r, v):
+    return Operation(Opcode.MOV, cluster=c, dst=r, imm=v, use_imm=True)
+
+
+def halt():
+    return VLIWInstruction([Operation(Opcode.HALT, cluster=0)])
+
+
+def swap_program() -> Program:
+    """Paper Fig. 3: single-instruction swap of r3 and r5 (same cluster)."""
+    return Program(
+        [
+            VLIWInstruction([movi(0, 3, 111), movi(0, 5, 222)]),
+            VLIWInstruction([
+                Operation(Opcode.MOV, cluster=0, dst=3, srcs=(5,)),
+                Operation(Opcode.MOV, cluster=0, dst=5, srcs=(3,)),
+            ]),
+            halt(),
+        ],
+        PAPER_MACHINE.n_clusters,
+        name="swap",
+    )
+
+
+def run_split(program, splits, mode):
+    """Execute; ``splits[i]`` gives the parts for instruction i (or
+    None for atomic single-part issue)."""
+    vm = SplitVM(program, mode=mode)
+    step = 0
+    while not vm.halted:
+        parts = None
+        if step < len(splits):
+            parts = splits[step]
+        if parts is None:
+            ins = program[vm.pc]
+            parts = [list(range(len(ins.ops)))]
+        vm.step_split(parts)
+        step += 1
+    return vm
+
+
+def test_swap_atomic_reference():
+    vm = VM(swap_program())
+    vm.run()
+    assert (vm.regs[0][3], vm.regs[0][5]) == (222, 111)
+
+
+def test_swap_buffered_split_is_correct():
+    """Op-level split WITH delay buffers preserves the swap."""
+    vm = run_split(swap_program(), [None, [[0], [1]]], "buffered")
+    assert (vm.regs[0][3], vm.regs[0][5]) == (222, 111)
+
+
+def test_swap_immediate_split_breaks():
+    """Fig. 3(c): naive op-level split reads the clobbered register."""
+    vm = run_split(swap_program(), [None, [[0], [1]]], "immediate")
+    assert (vm.regs[0][3], vm.regs[0][5]) == (222, 222)  # wrong, by design
+
+
+def cross_cluster_program() -> Program:
+    """Same-shape computation but spread over two clusters: a
+    cluster-boundary split has nothing to break."""
+    return Program(
+        [
+            VLIWInstruction([movi(0, 3, 1), movi(1, 3, 10)]),
+            VLIWInstruction([
+                Operation(Opcode.ADD, cluster=0, dst=4, srcs=(3,), imm=5,
+                          use_imm=True),
+                Operation(Opcode.ADD, cluster=1, dst=4, srcs=(3,), imm=7,
+                          use_imm=True),
+            ]),
+            halt(),
+        ],
+        PAPER_MACHINE.n_clusters,
+        name="xc",
+    )
+
+
+@pytest.mark.parametrize("order", [[0, 1], [1, 0]])
+def test_cluster_split_immediate_mode_correct(order):
+    """The paper's core claim: bundles access disjoint register files,
+    so cluster-boundary split-issue needs no operand phases."""
+    p = cross_cluster_program()
+    parts = [[i] for i in order]
+    vm = run_split(p, [None, parts], "immediate")
+    assert vm.regs[0][4] == 6
+    assert vm.regs[1][4] == 17
+
+
+def test_rollback_restores_state():
+    p = swap_program()
+    vm = SplitVM(p, mode="buffered")
+    vm.step_split([[0, 1]])  # init instruction
+    tok = vm.snapshot()
+    ins = p[vm.pc]
+    # issue only the first part, then take a "precise exception"
+    vm._exec_part([ins.ops[0]], last=False)
+    assert vm.reg_buffer  # something pending
+    vm.rollback(tok)
+    assert (vm.regs[0][3], vm.regs[0][5]) == (111, 222)
+    assert not vm.reg_buffer
+
+
+def test_rollback_requires_buffers():
+    vm = SplitVM(swap_program(), mode="immediate")
+    tok = vm.snapshot()
+    with pytest.raises(VMError):
+        vm.rollback(tok)
+
+
+def icc_program() -> Program:
+    return Program(
+        [
+            VLIWInstruction([movi(1, 5, 42)]),
+            VLIWInstruction([
+                Operation(Opcode.SEND, cluster=1, srcs=(5,), xfer_id=0),
+                Operation(Opcode.RECV, cluster=2, dst=7, xfer_id=0),
+            ]),
+            halt(),
+        ],
+        PAPER_MACHINE.n_clusters,
+        name="icc",
+    )
+
+
+def test_send_before_recv_split():
+    """Send issued ahead of recv: data buffered until recv (Fig. 12c)."""
+    vm = run_split(icc_program(), [None, [[0], [1]]], "buffered")
+    assert vm.regs[2][7] == 42
+
+
+def test_recv_before_send_split():
+    """Early recv saves the destination register; the write happens when
+    the data arrives (the paper's §V-E fix, required for AS)."""
+    vm = run_split(icc_program(), [None, [[1], [0]]], "buffered")
+    assert vm.regs[2][7] == 42
+
+
+def test_store_buffering_visible_only_after_last_part():
+    data = DataSegment()
+    p = Program(
+        [
+            VLIWInstruction([movi(0, 1, 0x100), movi(0, 2, 7),
+                             movi(1, 1, 0x200)]),
+            VLIWInstruction([
+                Operation(Opcode.STW, cluster=0, srcs=(2, 1)),
+                Operation(Opcode.ADD, cluster=1, dst=3, srcs=(1,), imm=0,
+                          use_imm=True),
+            ]),
+            halt(),
+        ],
+        PAPER_MACHINE.n_clusters,
+        data,
+        name="stbuf",
+    )
+    vm = SplitVM(p, mode="buffered")
+    vm.step_split([[0, 1, 2]])
+    ins = p[vm.pc]
+    vm._exec_part([ins.ops[0]], last=False)  # split-issued store
+    assert vm.mem[0x100:0x104] == b"\x00\x00\x00\x00"  # not yet visible
+    vm._exec_part([ins.ops[1]], last=True)  # last part commits buffers
+    assert int.from_bytes(vm.mem[0x100:0x104], "little") == 7
+
+
+# ------------------------------------------------------------------
+# Property: random straight-line programs, random split schedules.
+ALU_OPS = [Opcode.ADD, Opcode.SUB, Opcode.XOR, Opcode.AND, Opcode.OR,
+           Opcode.MIN, Opcode.MAX]
+
+
+@st.composite
+def random_program(draw):
+    n_instr = draw(st.integers(1, 5))
+    instrs = []
+    for _ in range(n_instr):
+        n_ops = draw(st.integers(1, 6))
+        ops = []
+        used_dsts: set[tuple[int, int]] = set()
+        for _k in range(n_ops):
+            c = draw(st.integers(0, 3))
+            opc = draw(st.sampled_from(ALU_OPS))
+            dst = draw(st.integers(1, 6))
+            if (c, dst) in used_dsts:
+                continue  # two writes to one register in one VLIW
+                # instruction is illegal (undefined) — skip
+            used_dsts.add((c, dst))
+            s1 = draw(st.integers(0, 6))
+            s2 = draw(st.integers(0, 6))
+            ops.append(Operation(opc, cluster=c, dst=dst, srcs=(s1, s2)))
+        if not ops:
+            ops = [Operation(Opcode.ADD, cluster=0, dst=1, srcs=(1, 2))]
+        instrs.append(VLIWInstruction(ops))
+    instrs.append(halt())
+    init = [movi(c, r, draw(st.integers(0, 1000)))
+            for c in range(4) for r in range(1, 7)]
+    instrs.insert(0, VLIWInstruction(init[:8]))
+    instrs.insert(1, VLIWInstruction(init[8:16]))
+    instrs.insert(2, VLIWInstruction(init[16:]))
+    return Program(instrs, 4, name="rand")
+
+
+@st.composite
+def split_of(draw, n_ops):
+    """A random partition of range(n_ops) into ordered parts."""
+    if n_ops == 0:
+        return [[]]
+    perm = draw(st.permutations(list(range(n_ops))))
+    if n_ops == 1:
+        return [[0]]
+    n_parts = draw(st.integers(1, n_ops))
+    cuts = sorted(draw(st.sets(st.integers(1, n_ops - 1),
+                               max_size=n_parts - 1)))
+    parts = []
+    prev = 0
+    for cut in cuts + [n_ops]:
+        parts.append(list(perm[prev:cut]))
+        prev = cut
+    return [p for p in parts if p] or [[]]
+
+
+@given(st.data())
+@settings(max_examples=60, deadline=None)
+def test_buffered_split_equals_atomic(data):
+    """Delay buffers make ANY split schedule equal to atomic execution."""
+    program = data.draw(random_program())
+    ref = VM(program)
+    ref.run()
+    splits = [
+        data.draw(split_of(len(ins.ops))) if ins.ops[0].opcode is not
+        Opcode.HALT else None
+        for ins in program
+    ]
+    vm = run_split(program, splits, "buffered")
+    assert vm.regs == ref.regs
+
+
+@given(st.data())
+@settings(max_examples=60, deadline=None)
+def test_cluster_split_immediate_equals_atomic(data):
+    """Cluster-boundary splits need no buffers for dataflow (within a
+    cluster nothing is reordered; across clusters nothing is shared)."""
+    program = data.draw(random_program())
+    ref = VM(program)
+    ref.run()
+    order = data.draw(st.permutations(range(4)))
+    vm = SplitVM(program, mode="immediate")
+    while not vm.halted:
+        parts = vm.split_by_cluster(list(order))
+        vm.step_split(parts)
+    assert vm.regs == ref.regs

@@ -1,0 +1,53 @@
+"""SimStats / BenchStats accounting (repro.pipeline.stats)."""
+
+import pytest
+
+from repro.pipeline.stats import BenchStats, SimStats
+
+
+def test_ipc_zero_when_no_cycles():
+    assert SimStats().ipc == 0.0
+
+
+def test_ipc():
+    s = SimStats(cycles=100, operations=450)
+    assert s.ipc == pytest.approx(4.5)
+
+
+def test_vertical_waste_frac():
+    s = SimStats(cycles=200, vertical_waste=50)
+    assert s.vertical_waste_frac == pytest.approx(0.25)
+
+
+def test_horizontal_waste():
+    s = SimStats(cycles=10, vertical_waste=2, operations=64,
+                 issue_width=16)
+    # 8 active cycles x 16 slots - 64 ops = 64 wasted slots
+    assert s.horizontal_waste == 64
+
+
+def test_merged_cycle_frac():
+    s = SimStats()
+    s.packet_threads = {1: 60, 2: 30, 3: 10}
+    assert s.merged_cycle_frac == pytest.approx(0.4)
+    assert SimStats().merged_cycle_frac == 0.0
+
+
+def test_summary_keys():
+    s = SimStats(cycles=10, operations=20, instructions=5)
+    summary = s.summary()
+    for key in ("cycles", "operations", "ipc", "vertical_waste_frac",
+                "merged_cycle_frac", "split_instructions",
+                "stall_cycles", "icache_miss_rate", "dcache_miss_rate"):
+        assert key in summary
+
+
+def test_cache_rates_guard_zero_division():
+    s = SimStats()
+    assert s.summary()["icache_miss_rate"] == 0.0
+    assert s.summary()["dcache_miss_rate"] == 0.0
+
+
+def test_bench_stats_defaults():
+    b = BenchStats("x")
+    assert b.instructions == 0 and b.operations == 0 and b.respawns == 0

@@ -1,0 +1,113 @@
+"""Static/dynamic trace tables and cluster-renaming rotation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.config import PAPER_MACHINE
+from repro.arch.resources import unpack_usage
+from repro.pipeline.trace import build_static_table, record_trace
+
+from conftest import make_axpy, make_wide
+from repro.compiler.pipeline import compile_kernel
+
+
+def test_static_table_lengths(axpy_program):
+    t = build_static_table(axpy_program, PAPER_MACHINE)
+    n = len(axpy_program)
+    for field in (t.packed, t.cmask, t.bundle_packed, t.bundle_nops,
+                  t.mem_cmask, t.store_cmask, t.icc, t.nops, t.ops_desc,
+                  t.pc):
+        assert len(field) == n
+
+
+def test_cmask_consistent_with_bundles(axpy_program):
+    t = build_static_table(axpy_program, PAPER_MACHINE)
+    for i in range(len(axpy_program)):
+        mask = 0
+        for c in range(4):
+            if t.bundle_nops[i][c]:
+                mask |= 1 << c
+        assert mask == t.cmask[i]
+
+
+def test_nops_sum_of_bundles(axpy_program):
+    t = build_static_table(axpy_program, PAPER_MACHINE)
+    for i in range(len(axpy_program)):
+        assert sum(t.bundle_nops[i]) == t.nops[i]
+
+
+def test_packed_equals_sum_of_bundle_packed(axpy_program):
+    t = build_static_table(axpy_program, PAPER_MACHINE)
+    for i in range(len(axpy_program)):
+        assert sum(t.bundle_packed[i]) == t.packed[i]
+
+
+def test_mem_mask_subset_of_cmask(axpy_program):
+    t = build_static_table(axpy_program, PAPER_MACHINE)
+    for i in range(len(axpy_program)):
+        assert t.mem_cmask[i] & ~t.cmask[i] == 0
+        assert t.store_cmask[i] & ~t.mem_cmask[i] == 0
+
+
+def test_pcs_increasing(axpy_program):
+    t = build_static_table(axpy_program, PAPER_MACHINE)
+    assert all(b > a for a, b in zip(t.pc, t.pc[1:]))
+
+
+def test_trace_records_dynamic_stream(axpy_trace):
+    assert axpy_trace.length > 0
+    assert axpy_trace.total_ops > axpy_trace.length  # >1 op/instr avg
+    assert len(axpy_trace.addr_rows) == axpy_trace.length
+
+
+@given(st.integers(0, 3))
+@settings(max_examples=4, deadline=None)
+def test_rotation_preserves_totals(r):
+    tr = record_trace(compile_kernel(make_wide()).program, PAPER_MACHINE)
+    st0, rows0 = tr.rotated(0)
+    str_, rows_r = tr.rotated(r)
+    for i in range(len(st0.nops)):
+        assert st0.nops[i] == str_.nops[i]
+        assert sorted(st0.bundle_nops[i]) == sorted(str_.bundle_nops[i])
+        assert bin(st0.cmask[i]).count("1") == bin(str_.cmask[i]).count("1")
+        assert sorted(unpack_usage(st0.packed[i], 4)) == sorted(
+            unpack_usage(str_.packed[i], 4)
+        )
+    # address rows are rolled, never lost
+    for a, b in zip(rows0, rows_r):
+        assert sorted(a) == sorted(b)
+
+
+def test_rotation_by_cluster_count_is_identity(wide_trace):
+    st0, rows0 = wide_trace.rotated(0)
+    st4, rows4 = wide_trace.rotated(4)
+    assert st0 is st4 and rows0 is rows4
+
+
+def test_rotation_maps_cluster_c_to_c_plus_r(wide_trace):
+    st0, _ = wide_trace.rotated(0)
+    st1, _ = wide_trace.rotated(1)
+    for i in range(len(st0.nops)):
+        for c in range(4):
+            assert st0.bundle_nops[i][c] == st1.bundle_nops[i][(c + 1) % 4]
+
+
+def test_rotation_cache(wide_trace):
+    a = wide_trace.rotated(2)
+    b = wide_trace.rotated(2)
+    assert a[0] is b[0]
+
+
+def test_ops_desc_rotation(wide_trace):
+    st0, _ = wide_trace.rotated(0)
+    st2, _ = wide_trace.rotated(2)
+    for d0, d2 in zip(st0.ops_desc, st2.ops_desc):
+        assert len(d0) == len(d2)
+        for (c0, fu0, m0), (c2, fu2, m2) in zip(d0, d2):
+            assert c2 == (c0 + 2) % 4 and fu0 == fu2 and m0 == m2
+
+
+def test_icc_flag_rotation_invariant(wide_trace):
+    st0, _ = wide_trace.rotated(0)
+    st3, _ = wide_trace.rotated(3)
+    assert st0.icc == st3.icc
