@@ -5,13 +5,18 @@ The figure benches regenerate the paper's tables at a reduced scale
 `EXPERIMENTS.md`); each bench also records the figure's headline numbers
 in ``benchmark.extra_info`` so `--benchmark-only` output doubles as a
 results table.
+
+All simulations flow through one shared
+:class:`repro.engine.SimulationSession`; the ``runner`` fixture wraps it
+in the :class:`ExperimentRunner` façade the figure generators take.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.harness.experiment import ExperimentRunner, ExperimentScale
+from repro.engine import ExperimentScale, SimulationSession
+from repro.harness.experiment import ExperimentRunner
 
 BENCH_SCALE = ExperimentScale(
     kernel_scale=0.15,
@@ -21,8 +26,13 @@ BENCH_SCALE = ExperimentScale(
 
 
 @pytest.fixture(scope="session")
-def runner() -> ExperimentRunner:
-    return ExperimentRunner(BENCH_SCALE)
+def session() -> SimulationSession:
+    return SimulationSession(BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def runner(session) -> ExperimentRunner:
+    return ExperimentRunner(session=session)
 
 
 @pytest.fixture(scope="session")

@@ -5,26 +5,28 @@ multithreading policies and compare IPC.
 Run:  python examples/quickstart.py
 """
 
-from repro import Processor, SimParams, get_policy
-from repro.kernels import get_trace
+from repro.engine import ExperimentScale, SimulationSession
 from repro.harness.workloads import WORKLOADS
 
 
 def main() -> None:
-    # 1. pick a workload from the paper's Fig. 13b (two low-ILP + two
-    #    high-ILP benchmarks) and build its traces (compiled + executed
-    #    once, then replayed by the timing model)
+    # 1. a session owns machine config, scale and seed; every
+    #    simulation (here and in the CLI/figures) flows through it,
+    #    memoised and optionally disk-cached (cache_dir=...)
+    session = SimulationSession(
+        ExperimentScale(
+            kernel_scale=0.3, target_instructions=8_000, timeslice=4_000
+        )
+    )
+
+    # 2. pick a workload from the paper's Fig. 13b (two low-ILP + two
+    #    high-ILP benchmarks) and simulate a 4-thread SMT clustered
+    #    VLIW under four policies
     workload = "llhh"
     print(f"workload {workload}: {', '.join(WORKLOADS[workload])}")
-    traces = [get_trace(name, scale=0.3) for name in WORKLOADS[workload]]
-
-    # 2. simulate a 4-thread SMT clustered VLIW under four policies
-    params = SimParams(target_instructions=8_000, timeslice=4_000)
     results = {}
     for pol_name in ("CSMT", "CCSI AS", "SMT", "OOSI AS"):
-        proc = Processor(get_policy(pol_name), traces, n_threads=4,
-                         params=params)
-        stats = proc.run()
+        stats = session.run(pol_name, workload, n_threads=4)
         results[pol_name] = stats
         print(
             f"{pol_name:8s} IPC={stats.ipc:5.2f} "

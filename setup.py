@@ -1,3 +1,13 @@
+"""Legacy-editable-install shim.
+
+All metadata lives in pyproject.toml (PEP 621).  This file exists only
+for offline environments whose setuptools (< 70) cannot build PEP 660
+editable wheels because the `wheel` package is absent: there,
+`python setup.py develop` installs the package and the `repro` console
+script without touching the network.  `pip install -e .` is the normal
+path everywhere else.
+"""
+
 from setuptools import setup
 
 setup()

@@ -13,6 +13,8 @@ Public API tour
 * :mod:`repro.core`      — merging hardware, split-issue policies
   (CSMT/SMT/CCSI/COSI/OOSI x NS/AS), delay-buffer semantics;
 * :mod:`repro.pipeline`  — the cycle-accurate SMT timing simulator;
+* :mod:`repro.engine`    — the execution layer: sessions, parallel
+  sweeps, disk-backed result caching, simulator hooks;
 * :mod:`repro.harness`   — workloads and Figs. 13-16 regenerators.
 
 Quickstart
@@ -25,11 +27,12 @@ True
 
 from .arch import PAPER_MACHINE, MachineConfig
 from .core.policies import ALL_POLICIES, Policy, get_policy
+from .engine import SimulationSession
 from .harness.experiment import ExperimentRunner, ExperimentScale
 from .kernels.suite import SUITE, get_trace
 from .pipeline.processor import Processor, SimParams, run_single_thread
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "PAPER_MACHINE",
@@ -37,6 +40,7 @@ __all__ = [
     "ALL_POLICIES",
     "Policy",
     "get_policy",
+    "SimulationSession",
     "ExperimentRunner",
     "ExperimentScale",
     "SUITE",

@@ -1,13 +1,20 @@
-"""Command-line interface: ``python -m repro <command>``.
+"""Command-line interface: ``python -m repro <command>`` (or the
+``repro`` console script).
 
 Commands
 --------
 ``run``      — one simulation cell (policy x workload x threads)
+``sweep``    — the policy x workload x threads matrix, parallel + cached
 ``fig``      — regenerate a paper figure (13, 14, 15 or 16)
 ``claims``   — evaluate the §VI-B headline claims
 ``waste``    — vertical/horizontal waste decomposition per policy
 ``report``   — run the full matrix and (re)write EXPERIMENTS.md
-``bench13``  — the Fig. 13a single-thread table
+
+Global flags ``--jobs N`` (process-pool width for sweeps) and
+``--cache-dir DIR`` (content-hashed on-disk result cache; a rerun with
+an unchanged machine/scale re-simulates nothing) apply to every
+command; all simulations flow through
+:class:`repro.engine.SimulationSession`.
 """
 
 from __future__ import annotations
@@ -16,6 +23,7 @@ import argparse
 import json
 import sys
 
+from .core.policies import BY_NAME
 from .harness.claims import evaluate_claims, render_claims
 from .harness.experiment import (
     DEFAULT_SCALE,
@@ -23,6 +31,8 @@ from .harness.experiment import (
     ExperimentRunner,
 )
 from .harness.figures import (
+    FIG14_POLICIES,
+    FIG15_POLICIES,
     fig13a,
     fig14,
     fig15,
@@ -36,7 +46,11 @@ from .harness.workloads import WORKLOADS
 
 
 def _runner(args) -> ExperimentRunner:
-    return ExperimentRunner(QUICK_SCALE if args.quick else DEFAULT_SCALE)
+    return ExperimentRunner(
+        QUICK_SCALE if args.quick else DEFAULT_SCALE,
+        cache_dir=args.cache_dir,
+        jobs=args.jobs,
+    )
 
 
 def cmd_run(args) -> int:
@@ -46,8 +60,47 @@ def cmd_run(args) -> int:
     return 0
 
 
+def cmd_sweep(args) -> int:
+    session = _runner(args).session
+    results = session.sweep(
+        policies=args.policies,
+        workloads=args.workloads,
+        n_threads=tuple(args.threads),
+    )
+    print(f"{'T':>2s} {'policy':9s} {'workload':>9s} {'IPC':>6s}")
+    for (pol, w, nt), s in sorted(
+        results.items(), key=lambda kv: (kv[0][2], kv[0][0], kv[0][1])
+    ):
+        print(f"{nt:2d} {pol:9s} {w:>9s} {s.ipc:6.2f}")
+    info = session.cache_stats()
+    print(
+        f"# {len(results)} cells: {info['simulations']} simulated, "
+        f"{info['disk_hits']} from disk cache",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _prewarm(r: ExperimentRunner, args, policies=None) -> None:
+    """With ``--jobs N``, fill the needed slice of the matrix through
+    the parallel sweep first so figure/claim generation reads from the
+    memo."""
+    if args.jobs > 1:
+        r.session.sweep(policies=policies, n_threads=(2, 4))
+
+
+#: Policies each figure actually touches (prewarm slice)
+_FIG_POLICIES = {
+    14: FIG14_POLICIES,
+    15: FIG15_POLICIES,
+    16: None,  # all eight
+}
+
+
 def cmd_fig(args) -> int:
     r = _runner(args)
+    if args.number in _FIG_POLICIES:
+        _prewarm(r, args, _FIG_POLICIES[args.number])
     if args.number == 13:
         print(render_fig13a(fig13a(runner=r)))
     elif args.number == 14:
@@ -69,7 +122,9 @@ def cmd_fig(args) -> int:
 
 
 def cmd_claims(args) -> int:
-    claims = evaluate_claims(_runner(args))
+    r = _runner(args)
+    _prewarm(r, args)
+    claims = evaluate_claims(r)
     print(render_claims(claims))
     return 0 if all(c.holds for c in claims) else 1
 
@@ -89,6 +144,7 @@ def cmd_report(args) -> int:
     from .harness.report import render_report
 
     r = _runner(args)
+    _prewarm(r, args)
     results = {
         "fig13a": fig13a(runner=r),
         "fig14": fig14(runner=r),
@@ -114,29 +170,66 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="SMT clustered-VLIW split-issue reproduction",
     )
-    ap.add_argument("--quick", action="store_true",
-                    help="small traces (fast, noisier)")
+    def add_global_flags(parser, defaults: bool) -> None:
+        # Registered on the main parser (with real defaults) and again
+        # on every subparser (with SUPPRESS defaults, so a flag given
+        # before the subcommand is not clobbered by the subparser's
+        # default): both `repro --jobs 4 sweep` and `repro sweep
+        # --jobs 4` work.
+        sup = argparse.SUPPRESS
+        parser.add_argument(
+            "--quick", action="store_true",
+            default=False if defaults else sup,
+            help="small traces (fast, noisier)")
+        parser.add_argument(
+            "--jobs", type=int, metavar="N",
+            default=1 if defaults else sup,
+            help="worker processes for sweeps (default: 1)")
+        parser.add_argument(
+            "--cache-dir", metavar="DIR",
+            default=None if defaults else sup,
+            help="content-hashed on-disk result cache")
+
+    add_global_flags(ap, defaults=True)
     sub = ap.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("run", help="simulate one policy/workload cell")
+    def add_parser(name: str, **kw):
+        p = sub.add_parser(name, **kw)
+        add_global_flags(p, defaults=False)
+        return p
+
+    p = add_parser("run", help="simulate one policy/workload cell")
     p.add_argument("--policy", default="CCSI AS")
     p.add_argument("--workload", default="llhh", choices=list(WORKLOADS))
     p.add_argument("--threads", type=int, default=4, choices=(1, 2, 4))
     p.set_defaults(func=cmd_run)
 
-    p = sub.add_parser("fig", help="regenerate a paper figure")
+    p = add_parser(
+        "sweep", help="run the policy x workload x threads matrix"
+    )
+    p.add_argument("--policies", nargs="+", default=None,
+                   choices=sorted(BY_NAME), metavar="POLICY",
+                   help="subset of policies (default: all eight)")
+    p.add_argument("--workloads", nargs="+", default=None,
+                   choices=list(WORKLOADS), metavar="WORKLOAD",
+                   help="subset of workloads (default: all nine)")
+    p.add_argument("--threads", type=int, nargs="+", default=(2, 4),
+                   choices=(1, 2, 4), metavar="T")
+    p.set_defaults(func=cmd_sweep)
+
+    p = add_parser("fig", help="regenerate a paper figure")
     p.add_argument("number", type=int, choices=(13, 14, 15, 16))
     p.set_defaults(func=cmd_fig)
 
-    p = sub.add_parser("claims", help="evaluate the paper's claims")
+    p = add_parser("claims", help="evaluate the paper's claims")
     p.set_defaults(func=cmd_claims)
 
-    p = sub.add_parser("waste", help="issue-waste decomposition")
+    p = add_parser("waste", help="issue-waste decomposition")
     p.add_argument("--workload", default="llhh", choices=list(WORKLOADS))
     p.add_argument("--threads", type=int, default=4, choices=(2, 4))
     p.set_defaults(func=cmd_waste)
 
-    p = sub.add_parser("report", help="write EXPERIMENTS.md")
+    p = add_parser("report", help="write EXPERIMENTS.md")
     p.add_argument("--output", default="EXPERIMENTS.md")
     p.set_defaults(func=cmd_report)
 

@@ -1,0 +1,38 @@
+"""The simulation engine: sessions, parallel sweeps, result caching,
+and simulator instrumentation hooks.
+
+This package is the single execution path for all experiments.  The
+harness (:mod:`repro.harness`), the CLI, and the benchmark suite all
+obtain results through :class:`SimulationSession`; nothing outside this
+package (except unit tests) constructs a
+:class:`~repro.pipeline.processor.Processor` directly.
+
+>>> from repro.engine import SimulationSession, QUICK_SCALE
+>>> session = SimulationSession(QUICK_SCALE)
+>>> session.run("CCSI AS", "llhh", 4).ipc > 0
+True
+"""
+
+from .cache import CACHE_VERSION, ResultCache, cache_key
+from .hooks import CycleRecorder, RetireLog, SimHook
+from .runner import run_matrix
+from .session import (
+    DEFAULT_SCALE,
+    QUICK_SCALE,
+    ExperimentScale,
+    SimulationSession,
+)
+
+__all__ = [
+    "CACHE_VERSION",
+    "ResultCache",
+    "cache_key",
+    "CycleRecorder",
+    "RetireLog",
+    "SimHook",
+    "run_matrix",
+    "DEFAULT_SCALE",
+    "QUICK_SCALE",
+    "ExperimentScale",
+    "SimulationSession",
+]

@@ -1,0 +1,134 @@
+"""Content-hashed, disk-backed simulation result cache.
+
+A cache entry is one simulated matrix cell.  The key is a SHA-256 over
+the *content* that determines the result bit-for-bit:
+
+* the full machine configuration (every field of
+  :class:`~repro.arch.config.MachineConfig`, recursively);
+* the :class:`~repro.pipeline.processor.SimParams` (seed included —
+  the context-switch schedule is part of the result);
+* the policy name;
+* the workload's member names **and** per-member trace fingerprints
+  (:meth:`TraceBundle.fingerprint` — a kernel edit or scale change
+  reflows the dynamic trace and therefore the key);
+* the hardware thread count.
+
+Layout: ``<root>/<key[:2]>/<key[2:]>.json``, one JSON document per
+entry with a schema ``version`` gate.  Writes go through a temp file +
+``os.replace`` so concurrent ``--jobs`` writers never expose a torn
+entry; last writer wins, and both writers wrote identical bytes anyway
+(same key ⇒ same simulation).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from ..arch.config import MachineConfig
+from ..pipeline.processor import SimParams
+from ..pipeline.stats import SimStats
+
+#: Bump when the SimStats schema or simulator semantics change in a way
+#: that makes old entries unusable.
+CACHE_VERSION = 1
+
+
+def cache_key(
+    cfg: MachineConfig,
+    params: SimParams,
+    policy_name: str,
+    members: tuple[str, ...],
+    fingerprints: tuple[str, ...],
+    n_threads: int,
+) -> str:
+    """Deterministic content hash of one matrix cell."""
+    payload = {
+        "version": CACHE_VERSION,
+        "machine": dataclasses.asdict(cfg),
+        "params": dataclasses.asdict(params),
+        "policy": policy_name,
+        "members": list(members),
+        "traces": list(fingerprints),
+        "n_threads": n_threads,
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class ResultCache:
+    """Disk-backed :class:`SimStats` store keyed by :func:`cache_key`."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+        except (FileExistsError, NotADirectoryError):
+            raise NotADirectoryError(
+                f"result cache path {self.root} exists and is not a "
+                "directory"
+            ) from None
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key[2:]}.json"
+
+    def get(self, key: str) -> SimStats | None:
+        """Load one entry; ``None`` (and a miss) on absent/stale/corrupt."""
+        try:
+            with open(self._path(key)) as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError):
+            # absent, unreadable, or the shard path is shadowed by a
+            # stray file: all degrade to a miss
+            self.misses += 1
+            return None
+        try:
+            if doc.get("version") != CACHE_VERSION:
+                raise ValueError("stale schema")
+            stats = SimStats.from_dict(doc["stats"])
+        except (KeyError, TypeError, ValueError, AttributeError):
+            # structurally malformed (hand-edited, truncated payload,
+            # field mismatch without a version bump): treat as a miss
+            # and re-simulate rather than crash the sweep
+            self.misses += 1
+            return None
+        self.hits += 1
+        return stats
+
+    def put(self, key: str, stats: SimStats, meta: dict | None = None) -> None:
+        """Best-effort write: a cache that cannot persist an entry (full
+        disk, shard path shadowed by a stray file) degrades to slower
+        reruns, it does not fail the sweep that computed the result."""
+        doc = {
+            "version": CACHE_VERSION,
+            "meta": meta or {},
+            "stats": stats.to_dict(),
+        }
+        path = self._path(key)
+        tmp = path.with_name(path.name + f".{os.getpid()}.tmp")
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with open(tmp, "w") as f:
+                json.dump(doc, f)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        n = 0
+        for p in self.root.glob("*/*.json"):
+            p.unlink()
+            n += 1
+        return n

@@ -1,0 +1,88 @@
+"""Observer interface for the timing simulator.
+
+The :class:`~repro.pipeline.processor.Processor` stage methods emit
+events to any objects passed as ``hooks=``; the processor never imports
+this module (dispatch is duck-typed), so instrumentation attaches
+without touching the cycle loop.  All hook methods are optional no-ops
+on the base class — subclass :class:`SimHook` and override what you
+need.
+
+Events
+------
+``on_run_start(processor)``
+    Once, before the first simulated cycle of a ``run()`` call.
+``on_cycle(cycle, ops_issued, threads_contributing)``
+    Every issue cycle, after the merge pass, before the clock advances.
+``on_retire(cycle, slot, bench, was_split, taken)``
+    Every retired dynamic VLIW instruction.
+``on_context_switch(cycle)``
+    Every multitasking timeslice rotation (§VI-A).
+``on_run_end(stats)``
+    Once, after the last cycle, with the final :class:`SimStats`.
+
+Hooks run inside the hot loop: keep them O(1) per event, and prefer
+sampling (see :class:`CycleRecorder`'s ``limit``) over unbounded
+accumulation on long runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class SimHook:
+    """Base observer: every event is a no-op."""
+
+    def on_run_start(self, processor) -> None:
+        pass
+
+    def on_cycle(
+        self, cycle: int, ops_issued: int, threads_contributing: int
+    ) -> None:
+        pass
+
+    def on_retire(
+        self, cycle: int, slot: int, bench: str, was_split: bool, taken: bool
+    ) -> None:
+        pass
+
+    def on_context_switch(self, cycle: int) -> None:
+        pass
+
+    def on_run_end(self, stats) -> None:
+        pass
+
+
+@dataclass
+class CycleRecorder(SimHook):
+    """Records per-cycle issue occupancy ``(cycle, ops, threads)`` for
+    the first ``limit`` issue cycles — the raw material for pipeline
+    occupancy plots (the paper's Fig. 2-style waste diagrams)."""
+
+    limit: int = 10_000
+    samples: list[tuple[int, int, int]] = field(default_factory=list)
+
+    def on_cycle(self, cycle, ops_issued, threads_contributing):
+        if len(self.samples) < self.limit:
+            self.samples.append((cycle, ops_issued, threads_contributing))
+
+
+@dataclass
+class RetireLog(SimHook):
+    """Counts retirements per (hardware slot, benchmark) and tracks
+    split-instruction retirements — waste accounting detached from the
+    core stats plumbing."""
+
+    by_slot: dict[int, int] = field(default_factory=dict)
+    by_bench: dict[str, int] = field(default_factory=dict)
+    split_retires: int = 0
+    context_switches: int = 0
+
+    def on_retire(self, cycle, slot, bench, was_split, taken):
+        self.by_slot[slot] = self.by_slot.get(slot, 0) + 1
+        self.by_bench[bench] = self.by_bench.get(bench, 0) + 1
+        if was_split:
+            self.split_retires += 1
+
+    def on_context_switch(self, cycle):
+        self.context_switches += 1

@@ -1,0 +1,91 @@
+"""Parallel executor for the experiment matrix.
+
+Each matrix cell is an independent deterministic simulation (its own
+``random.Random(seed)``, its own caches), so cells can run on a process
+pool in any order and produce bit-identical counters to a serial sweep.
+Workers receive only small picklable specs — (policy name, benchmark
+names, thread count, scale, machine config) — and rebuild traces
+locally via the per-process trace memo in :mod:`repro.kernels.suite`;
+trace bundles themselves (megabytes of flattened tables) never cross
+the process boundary.  Results come back as ``SimStats.to_dict()``
+payloads and are folded into the parent session's memo and disk cache.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+
+from ..pipeline.stats import SimStats
+
+#: One worker task: everything needed to reproduce a cell from scratch.
+#: (policy_name, member_names, n_threads, scale, cfg)
+_CellPayload = tuple
+
+
+def _simulate_cell(payload: _CellPayload) -> dict:
+    """Pool worker: run one matrix cell, return serialized stats."""
+    policy_name, members, n_threads, scale, cfg = payload
+    # Import here so fork-less start methods (spawn) stay cheap until
+    # a task actually runs.
+    from .session import SimulationSession
+
+    session = SimulationSession(scale=scale, cfg=cfg)
+    stats = session.run(policy_name, members, n_threads)
+    return stats.to_dict()
+
+
+def run_matrix(
+    session,
+    specs: list[tuple[str, str, int]],
+    jobs: int = 1,
+) -> dict[tuple[str, str, int], SimStats]:
+    """Execute ``specs`` (policy, workload, n_threads) through
+    ``session``, fanning cache misses out over ``jobs`` processes.
+
+    Serial (``jobs <= 1``) just drives ``session.run``.  Parallel first
+    resolves every spec against the memo/disk cache in-process, then
+    ships only the misses to the pool; finished cells are adopted into
+    the session so a subsequent sweep (or figure generation) sees them.
+
+    A session with hooks attached always runs serially: hooks are
+    in-process observers whose state cannot come back from pool
+    workers, and silently dropping their events would corrupt whatever
+    they are accumulating.
+    """
+    # duplicate specs (e.g. `--threads 2 2`) would each miss the cache
+    # before any result lands, costing a redundant pool simulation
+    specs = list(dict.fromkeys(specs))
+    results: dict[tuple[str, str, int], SimStats] = {}
+    if jobs <= 1 or session.hooks:
+        for spec in specs:
+            results[spec] = session.run(*spec)
+        return results
+
+    pending: list[tuple[str, str, int]] = []
+    for spec in specs:
+        stats = session.lookup(*spec)
+        if stats is not None:
+            results[spec] = stats
+        else:
+            pending.append(spec)
+
+    if pending:
+        payloads = [
+            (
+                policy,
+                session.workload_members(workload),
+                n_threads,
+                session.scale,
+                session.cfg,
+            )
+            for (policy, workload, n_threads) in pending
+        ]
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            for spec, stats_dict in zip(
+                pending, pool.map(_simulate_cell, payloads)
+            ):
+                stats = SimStats.from_dict(stats_dict)
+                session.adopt(*spec, stats)
+                session.simulations += 1
+                results[spec] = stats
+    return results

@@ -1,0 +1,291 @@
+"""`SimulationSession` — the single execution path for all simulations.
+
+A session owns the three things every run needs — machine config,
+experiment scale, and seed — and layers three result stores under one
+``run()`` call:
+
+1. an in-process memo (same-object returns, so figure generators share
+   runs within a process);
+2. an optional content-hashed disk cache (:mod:`repro.engine.cache`),
+   shared across processes and sessions;
+3. the simulator itself (:class:`~repro.pipeline.processor.Processor`),
+   the only place in the codebase that constructs one for experiments.
+
+``sweep()`` executes a policy × workload × thread-count matrix, serially
+or on a process pool (:mod:`repro.engine.runner`); the same seed gives
+bit-identical counters either way, because every cell is an independent
+deterministic simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..arch.config import MachineConfig, PAPER_MACHINE
+from ..core.policies import ALL_POLICIES, Policy, get_policy
+from ..kernels.suite import get_trace
+from ..pipeline.processor import Processor, SimParams
+from ..pipeline.stats import SimStats
+from ..pipeline.trace import TraceBundle
+from .cache import ResultCache, cache_key
+
+#: Policy-name stand-in for single-thread (ST) baseline runs in cache
+#: keys; the run itself uses op-level merging with one thread, where
+#: every policy is equivalent.
+_ST_POLICY = "ST"
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Scaling knobs for the whole experiment matrix.
+
+    The paper runs 200 M instructions with 5 M-cycle timeslices; the
+    defaults here keep a full Figs. 13-16 regeneration to a few minutes
+    of pure Python while preserving the multitasking structure
+    (hundreds of context switches per run).
+    """
+
+    kernel_scale: float = 1.0
+    target_instructions: int = 40_000
+    timeslice: int = 10_000
+    max_cycles: int = 5_000_000
+    seed: int = 12345
+
+
+DEFAULT_SCALE = ExperimentScale()
+QUICK_SCALE = ExperimentScale(
+    kernel_scale=0.3, target_instructions=6_000, timeslice=3_000
+)
+
+
+def _workloads_table() -> dict[str, tuple[str, ...]]:
+    # Lazy: harness.workloads transitively triggers repro.harness.
+    # __init__, which imports back into this module.
+    from ..harness.workloads import WORKLOADS
+
+    return WORKLOADS
+
+
+class SimulationSession:
+    """Owns config/scale/seed and executes the simulation matrix."""
+
+    def __init__(
+        self,
+        scale: ExperimentScale = DEFAULT_SCALE,
+        cfg: MachineConfig = PAPER_MACHINE,
+        cache_dir: str | None = None,
+        jobs: int = 1,
+        hooks=None,
+    ):
+        self.scale = scale
+        self.cfg = cfg
+        self.jobs = max(1, jobs)
+        self.hooks = tuple(hooks) if hooks else ()
+        self.cache = ResultCache(cache_dir) if cache_dir else None
+        self._memo: dict[tuple, SimStats] = {}
+        #: Processor runs actually executed on behalf of this session
+        #: (including pool workers); zero on a warm-cache rerun.
+        self.simulations = 0
+
+    # ------------------------------------------------------------ keys
+    def params(self) -> SimParams:
+        s = self.scale
+        return SimParams(
+            target_instructions=s.target_instructions,
+            timeslice=s.timeslice,
+            max_cycles=s.max_cycles,
+            seed=s.seed,
+        )
+
+    def workload_members(self, workload) -> tuple[str, ...]:
+        """Normalise a workload spec: a Fig. 13b name or an explicit
+        sequence of benchmark names."""
+        if isinstance(workload, str):
+            return tuple(_workloads_table()[workload])
+        return tuple(workload)
+
+    def _bundles(self, members: tuple[str, ...]) -> list[TraceBundle]:
+        return [
+            get_trace(name, self.scale.kernel_scale, self.cfg)
+            for name in members
+        ]
+
+    def _disk_key(
+        self,
+        policy_name: str,
+        members: tuple[str, ...],
+        n_threads: int,
+        params: SimParams,
+    ) -> str | None:
+        if self.cache is None:
+            return None
+        prints = tuple(b.fingerprint() for b in self._bundles(members))
+        return cache_key(
+            self.cfg, params, policy_name, members, prints, n_threads
+        )
+
+    def _cell(
+        self, policy: Policy | str, workload, n_threads: int
+    ) -> tuple[Policy, tuple[str, ...], tuple]:
+        """Normalise one matrix-cell spec to (policy, members, memo key)."""
+        if isinstance(policy, str):
+            policy = get_policy(policy)
+        members = self.workload_members(workload)
+        return policy, members, ("cell", policy.name, members, n_threads)
+
+    # ------------------------------------------------------- execution
+    def run(self, policy: Policy | str, workload, n_threads: int) -> SimStats:
+        """One cell of the matrix: memo → disk cache → simulate."""
+        stats = self.lookup(policy, workload, n_threads)
+        if stats is None:
+            policy, members, _ = self._cell(policy, workload, n_threads)
+            proc = Processor(
+                policy,
+                self._bundles(members),
+                n_threads,
+                self.cfg,
+                self.params(),
+                hooks=self.hooks,
+            )
+            stats = proc.run()
+            self.simulations += 1
+            self.adopt(policy, members, n_threads, stats)
+        return stats
+
+    def lookup(self, policy: Policy | str, workload, n_threads: int):
+        """Memo/disk-cache probe that never simulates (``None`` on miss).
+
+        A hooked session never reads the disk cache: a disk hit would
+        return stats for a simulation whose events never fired in this
+        process, desynchronising hook state from the results.  (Memo
+        hits are fine — the in-process run that populated the memo
+        already fired its events.)
+        """
+        policy, members, memo_key = self._cell(policy, workload, n_threads)
+        stats = self._memo.get(memo_key)
+        if stats is None and not self.hooks:
+            disk_key = self._disk_key(
+                policy.name, members, n_threads, self.params()
+            )
+            if disk_key is not None:
+                stats = self.cache.get(disk_key)
+                if stats is not None:
+                    self._memo[memo_key] = stats
+        return stats
+
+    def adopt(
+        self, policy: Policy | str, workload, n_threads: int, stats: SimStats
+    ) -> None:
+        """Store a computed result (local or a pool worker's) in the
+        memo and disk cache, as if this session had simulated it."""
+        policy, members, memo_key = self._cell(policy, workload, n_threads)
+        self._memo[memo_key] = stats
+        disk_key = self._disk_key(policy.name, members, n_threads, self.params())
+        if disk_key is not None:
+            self.cache.put(
+                disk_key,
+                stats,
+                meta={
+                    "policy": policy.name,
+                    "members": list(members),
+                    "n_threads": n_threads,
+                },
+            )
+
+    def run_single(self, bench: str, perfect_memory: bool = False) -> SimStats:
+        """Single-thread baseline run of one benchmark (Fig. 13a's
+        IPCr/IPCp columns): no multitasking, no renaming, run to the
+        end of the trace once."""
+        memo_key = ("single", bench, perfect_memory)
+        stats = self._memo.get(memo_key)
+        if stats is not None:
+            return stats
+        bundle = get_trace(bench, self.scale.kernel_scale, self.cfg)
+        # Matches the legacy ``run_single_thread`` helper exactly
+        # (including its 50 M-cycle safety limit, not the matrix
+        # scale's), so Fig. 13a numbers are unchanged by the engine.
+        params = SimParams(
+            target_instructions=bundle.length,
+            timeslice=0,
+            perfect_memory=perfect_memory,
+            renaming=False,
+            seed=self.scale.seed,
+        )
+        disk_key = None
+        if self.cache is not None:
+            disk_key = cache_key(
+                self.cfg,
+                params,
+                _ST_POLICY,
+                (bench,),
+                (bundle.fingerprint(),),
+                1,
+            )
+            if not self.hooks:  # see lookup(): no disk reads when hooked
+                stats = self.cache.get(disk_key)
+        if stats is None:
+            from ..core.policies import SMT
+
+            proc = Processor(
+                SMT, [bundle], 1, self.cfg, params, hooks=self.hooks
+            )
+            stats = proc.run()
+            self.simulations += 1
+            if disk_key is not None:
+                self.cache.put(
+                    disk_key, stats, meta={"policy": _ST_POLICY, "bench": bench}
+                )
+        self._memo[memo_key] = stats
+        return stats
+
+    def sweep(
+        self,
+        policies=None,
+        workloads=None,
+        n_threads=(2, 4),
+        jobs: int | None = None,
+    ) -> dict[tuple[str, str, int], SimStats]:
+        """Run a policy × workload × thread-count matrix, optionally on
+        a process pool.  Returns ``{(policy, workload, nt): SimStats}``;
+        cells already in the memo or disk cache are not re-simulated."""
+        from .runner import run_matrix
+
+        if policies is None:
+            policies = [p.name for p in ALL_POLICIES]
+        policies = [
+            p.name if isinstance(p, Policy) else p for p in policies
+        ]
+        if workloads is None:
+            workloads = list(_workloads_table())
+        specs = [
+            (p, w, nt)
+            for nt in n_threads
+            for p in policies
+            for w in workloads
+        ]
+        return run_matrix(self, specs, self.jobs if jobs is None else jobs)
+
+    # ----------------------------------------------------- conveniences
+    def ipc(self, policy, workload, n_threads: int) -> float:
+        return self.run(policy, workload, n_threads).ipc
+
+    def speedup(self, policy, baseline, workload, n_threads: int) -> float:
+        """Percent IPC speedup of ``policy`` over ``baseline``."""
+        p = self.ipc(policy, workload, n_threads)
+        b = self.ipc(baseline, workload, n_threads)
+        return 100.0 * (p / b - 1.0)
+
+    def average_ipc(self, policy, n_threads: int) -> float:
+        """Mean IPC over all nine workloads (the paper's Fig. 16 bars)."""
+        vals = [
+            self.ipc(policy, w, n_threads) for w in _workloads_table()
+        ]
+        return sum(vals) / len(vals)
+
+    def cache_stats(self) -> dict[str, int]:
+        return {
+            "memo_entries": len(self._memo),
+            "disk_hits": self.cache.hits if self.cache else 0,
+            "disk_misses": self.cache.misses if self.cache else 0,
+            "simulations": self.simulations,
+        }

@@ -1,87 +1,87 @@
 """Experiment runner: the policy x workload x thread-count matrix.
 
-Results are memoised per process so the figure generators (Figs. 14-16
-share the same underlying runs) trigger each simulation once.  All runs
-use the same seed, so policy comparisons see identical context-switch
-schedules.
+This module is now a thin façade over :mod:`repro.engine` — every
+simulation goes through :class:`repro.engine.SimulationSession`, which
+layers an in-process memo, an optional content-hashed disk cache, and a
+process-pool parallel sweep under one ``run()`` call.  The
+:class:`ExperimentRunner` API (and the process-wide
+:func:`default_runner`) is kept for the figure generators and existing
+callers; new code should talk to the session directly.
+
+All runs use the same seed, so policy comparisons see identical
+context-switch schedules.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-
 from ..arch.config import PAPER_MACHINE, MachineConfig
-from ..core.policies import ALL_POLICIES, Policy, get_policy
-from ..kernels.suite import get_trace
-from ..pipeline.processor import Processor, SimParams
-from ..pipeline.stats import SimStats
-from .workloads import WORKLOADS
-
-
-@dataclass(frozen=True)
-class ExperimentScale:
-    """Scaling knobs for the whole experiment matrix.
-
-    The paper runs 200 M instructions with 5 M-cycle timeslices; the
-    defaults here keep a full Figs. 13-16 regeneration to a few minutes
-    of pure Python while preserving the multitasking structure
-    (hundreds of context switches per run).
-    """
-
-    kernel_scale: float = 1.0
-    target_instructions: int = 40_000
-    timeslice: int = 10_000
-    max_cycles: int = 5_000_000
-    seed: int = 12345
-
-
-DEFAULT_SCALE = ExperimentScale()
-QUICK_SCALE = ExperimentScale(
-    kernel_scale=0.3, target_instructions=6_000, timeslice=3_000
+from ..engine.session import (
+    DEFAULT_SCALE,
+    QUICK_SCALE,
+    ExperimentScale,
+    SimulationSession,
 )
+from ..core.policies import Policy
+from ..pipeline.stats import SimStats
+
+__all__ = [
+    "DEFAULT_SCALE",
+    "QUICK_SCALE",
+    "ExperimentScale",
+    "ExperimentRunner",
+    "default_runner",
+    "with_quick_scale",
+]
 
 
 class ExperimentRunner:
-    """Runs and memoises the simulation matrix."""
+    """Matrix runner façade over a :class:`SimulationSession`.
+
+    Construct with an explicit ``session=`` to share one (e.g. the
+    benchmark suite's), or with scale/cfg/cache knobs to own one.
+    """
 
     def __init__(
         self,
         scale: ExperimentScale = DEFAULT_SCALE,
         cfg: MachineConfig = PAPER_MACHINE,
+        cache_dir: str | None = None,
+        jobs: int = 1,
+        session: SimulationSession | None = None,
     ):
-        self.scale = scale
-        self.cfg = cfg
-        self._cache: dict[tuple[str, str, int], SimStats] = {}
+        if session is not None:
+            if (
+                scale is not DEFAULT_SCALE
+                or cfg is not PAPER_MACHINE
+                or cache_dir is not None
+                or jobs != 1
+            ):
+                raise ValueError(
+                    "session= is mutually exclusive with "
+                    "scale/cfg/cache_dir/jobs (the session owns those)"
+                )
+            self.session = session
+        else:
+            self.session = SimulationSession(
+                scale, cfg, cache_dir=cache_dir, jobs=jobs
+            )
 
-    def _params(self) -> SimParams:
-        s = self.scale
-        return SimParams(
-            target_instructions=s.target_instructions,
-            timeslice=s.timeslice,
-            max_cycles=s.max_cycles,
-            seed=s.seed,
-        )
+    @property
+    def scale(self) -> ExperimentScale:
+        return self.session.scale
+
+    @property
+    def cfg(self) -> MachineConfig:
+        return self.session.cfg
 
     def run(
         self, policy: Policy | str, workload: str, n_threads: int
     ) -> SimStats:
-        """One cell of the matrix (memoised)."""
-        if isinstance(policy, str):
-            policy = get_policy(policy)
-        key = (policy.name, workload, n_threads)
-        if key not in self._cache:
-            bundles = [
-                get_trace(name, self.scale.kernel_scale, self.cfg)
-                for name in WORKLOADS[workload]
-            ]
-            proc = Processor(
-                policy, bundles, n_threads, self.cfg, self._params()
-            )
-            self._cache[key] = proc.run()
-        return self._cache[key]
+        """One cell of the matrix (memoised by the session)."""
+        return self.session.run(policy, workload, n_threads)
 
     def ipc(self, policy: Policy | str, workload: str, n_threads: int) -> float:
-        return self.run(policy, workload, n_threads).ipc
+        return self.session.ipc(policy, workload, n_threads)
 
     def speedup(
         self,
@@ -91,21 +91,15 @@ class ExperimentRunner:
         n_threads: int,
     ) -> float:
         """Percent IPC speedup of ``policy`` over ``baseline``."""
-        p = self.ipc(policy, workload, n_threads)
-        b = self.ipc(baseline, workload, n_threads)
-        return 100.0 * (p / b - 1.0)
+        return self.session.speedup(policy, baseline, workload, n_threads)
 
     def average_ipc(self, policy: Policy | str, n_threads: int) -> float:
         """Mean IPC over all nine workloads (the paper's Fig. 16 bars)."""
-        vals = [self.ipc(policy, w, n_threads) for w in WORKLOADS]
-        return sum(vals) / len(vals)
+        return self.session.average_ipc(policy, n_threads)
 
-    def run_everything(self, n_threads_list=(2, 4)) -> None:
+    def run_everything(self, n_threads_list=(2, 4), jobs=None) -> None:
         """Populate the full matrix (8 policies x 9 workloads x |T|)."""
-        for nt in n_threads_list:
-            for pol in ALL_POLICIES:
-                for w in WORKLOADS:
-                    self.run(pol, w, nt)
+        self.session.sweep(n_threads=tuple(n_threads_list), jobs=jobs)
 
 
 _default_runner: ExperimentRunner | None = None

@@ -13,10 +13,17 @@ paper-formatted text table.  The mapping to the paper:
 
 from __future__ import annotations
 
-from ..kernels.suite import BENCH_ORDER, get_meta, get_trace
-from ..pipeline.processor import run_single_thread
+from dataclasses import replace
+
+from ..engine.session import SimulationSession
+from ..kernels.suite import BENCH_ORDER, get_meta
 from .experiment import DEFAULT_SCALE, ExperimentRunner, default_runner
 from .workloads import WORKLOAD_ORDER
+
+#: Policies each figure touches (single source of truth for the CLI's
+#: ``--jobs`` prewarm slice — keep in sync with the fig* bodies below)
+FIG14_POLICIES = ["CSMT", "CCSI NS", "CCSI AS"]
+FIG15_POLICIES = ["SMT", "COSI NS", "COSI AS", "OOSI NS", "OOSI AS"]
 
 #: Fig. 16 bar order (the paper's legend order)
 FIG16_POLICIES = [
@@ -34,13 +41,20 @@ FIG16_POLICIES = [
 def fig13a(scale: float | None = None, runner: ExperimentRunner | None = None):
     """Per-benchmark single-thread IPC with real and perfect memory."""
     runner = runner or default_runner()
-    kernel_scale = scale if scale is not None else runner.scale.kernel_scale
+    session = runner.session
+    if scale is not None and scale != session.scale.kernel_scale:
+        # keep the runner's disk cache and hooks across the override
+        session = SimulationSession(
+            replace(session.scale, kernel_scale=scale),
+            session.cfg,
+            cache_dir=session.cache.root if session.cache else None,
+            hooks=session.hooks,
+        )
     rows = []
     for name in BENCH_ORDER:
         meta = get_meta(name)
-        tr = get_trace(name, kernel_scale, runner.cfg)
-        ipcr = run_single_thread(tr, runner.cfg).ipc
-        ipcp = run_single_thread(tr, runner.cfg, perfect_memory=True).ipc
+        ipcr = session.run_single(name).ipc
+        ipcp = session.run_single(name, perfect_memory=True).ipc
         rows.append(
             {
                 "benchmark": name,
@@ -70,7 +84,8 @@ def render_fig13a(rows) -> str:
 
 
 def fig14(runner: ExperimentRunner | None = None):
-    """CCSI speedup over CSMT (%), {NS, AS} x {2T, 4T} per workload."""
+    """CCSI speedup over CSMT (%), {NS, AS} x {2T, 4T} per workload
+    (policies: FIG14_POLICIES)."""
     runner = runner or default_runner()
     rows = []
     for nt in (2, 4):
@@ -95,7 +110,8 @@ def fig14(runner: ExperimentRunner | None = None):
 
 
 def fig15(runner: ExperimentRunner | None = None):
-    """COSI and OOSI speedups over SMT (%), per workload."""
+    """COSI and OOSI speedups over SMT (%), per workload
+    (policies: FIG15_POLICIES)."""
     runner = runner or default_runner()
     rows = []
     for nt in (2, 4):

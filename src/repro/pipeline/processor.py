@@ -114,13 +114,18 @@ class Processor:
         n_threads: int,
         cfg: MachineConfig = PAPER_MACHINE,
         params: SimParams | None = None,
+        hooks=None,
     ):
         if n_threads < 1:
             raise ValueError("need at least one hardware thread")
         self.cfg = cfg
         self.policy = policy
+        self._split = policy.split  # hoisted out of the per-cycle loop
         self.params = params or SimParams()
         self.n_threads = n_threads
+        # observers (duck-typed; see repro.engine.hooks.SimHook).  An
+        # empty tuple keeps the per-cycle dispatch guard falsy and free.
+        self._hooks = tuple(hooks) if hooks else ()
         self.engine = MergeEngine(cfg, policy.merge)
         self.priority = make_priority(self.params.priority, n_threads)
         self.rng = random.Random(self.params.seed)
@@ -150,7 +155,7 @@ class Processor:
         for t, th in enumerate(self.threads):
             th.assign(self.benches[picks[t]] if t < len(picks) else None)
 
-    def _context_switch(self) -> None:
+    def _context_switch(self, cycle: int = 0) -> None:
         """Replace running threads with randomly picked ones (§VI-A)."""
         picks = self.rng.sample(
             range(len(self.benches)),
@@ -159,6 +164,9 @@ class Processor:
         for t, th in enumerate(self.threads):
             th.assign(self.benches[picks[t]] if t < len(picks) else None)
         self.stats.context_switches += 1
+        if self._hooks:
+            for h in self._hooks:
+                h.on_context_switch(cycle)
 
     # ------------------------------------------------------------------
     def _fetch(self, th: _Thread, cycle: int) -> bool:
@@ -194,6 +202,11 @@ class Processor:
         self.stats.instructions += 1
         if bench.stats.instructions >= self._target:
             self._target_hit = True
+        if self._hooks:
+            for h in self._hooks:
+                h.on_retire(
+                    cycle, th.slot, bench.stats.name, pend.was_split, taken
+                )
         th.pend = None
         if bench.pos >= bench.bundle.length:
             # benchmark finished: respawn it (§VI-A)
@@ -229,6 +242,107 @@ class Processor:
         if penalty:
             th.stall_until = max(th.stall_until, cycle + 1 + penalty)
 
+    # ---------------------------------------------------- pipeline stages
+    def _merge_stage(self, th: _Thread, pend) -> tuple[int, int]:
+        """Offer ``pend`` to the merge engine under the policy's split
+        level.  Returns ``(n_ops_issued, mem_cluster_mask)``."""
+        engine = self.engine
+        split = self._split
+        if split == "none":
+            if engine.try_whole(pend):
+                return pend.ops_total, th.table.mem_cmask[pend.static_index]
+            return 0, 0
+        if split == "cluster":
+            issued_mask, n = engine.try_bundles(pend)
+            return n, th.table.mem_cmask[pend.static_index] & issued_mask
+        # op-level split
+        n, _cmask, mem = engine.try_ops(pend)
+        return n, mem
+
+    def _commit_thread(self, th: _Thread, pend, mem: int, cycle: int) -> int:
+        """Post-issue bookkeeping for one thread: retire a finished
+        instruction or buffer its non-final-part stores.  Returns the
+        extra stall cycles caused by buffered-store memory-port
+        conflicts at last-part commit (Fig. 11)."""
+        if pend.done:
+            stall = 0
+            if pend.buffered_store_mask:
+                # last-part commit: buffered stores need the memory
+                # ports *now* (Fig. 11)
+                engine = self.engine
+                conflicts = pend.buffered_store_mask & engine.mem_used_mask
+                engine.mem_used_mask |= pend.buffered_store_mask
+                stall = bin(conflicts).count("1")
+            self._retire(th, cycle)
+            return stall
+        sm = th.table.store_cmask[pend.static_index] & mem
+        if sm:
+            pend.buffer_stores(sm)
+        return 0
+
+    def _issue_cycle(self, cycle: int, switching: bool) -> tuple[int, int, int]:
+        """One full fetch+merge+commit pass over all hardware threads in
+        priority order.  Returns ``(ops_issued, threads_contributing,
+        stall_extra)`` for the cycle-accounting stage."""
+        threads = self.threads
+        ops_this_cycle = 0
+        threads_contributing = 0
+        stall_extra = 0
+
+        self.engine.begin_cycle()
+        for t in self.priority.order(cycle):
+            th = threads[t]
+            if th.bench is None or cycle < th.stall_until:
+                continue
+            if th.pend is None:
+                if cycle < th.fetch_at or switching:
+                    continue
+                if not self._fetch(th, cycle):
+                    continue
+            pend = th.pend
+            if pend.ops_total == 0:
+                # empty instruction (compiler latency-padding NOP
+                # cycle): consumes this thread's issue cycle
+                self._retire(th, cycle)
+                continue
+            n, mem = self._merge_stage(th, pend)
+            if n:
+                ops_this_cycle += n
+                threads_contributing += 1
+                th.bench.stats.operations += n
+                if mem:
+                    self._dcache_probe(th, mem, cycle)
+                stall_extra += self._commit_thread(th, pend, mem, cycle)
+        return ops_this_cycle, threads_contributing, stall_extra
+
+    def _account_cycle(
+        self,
+        cycle: int,
+        ops_this_cycle: int,
+        threads_contributing: int,
+        stall_extra: int,
+    ) -> int:
+        """Fold one issue cycle into the waste/IPC counters and advance
+        the clock (buffered-store conflicts stall the whole pipeline).
+        Returns the next cycle number."""
+        stats = self.stats
+        stats.operations += ops_this_cycle
+        if ops_this_cycle == 0:
+            stats.vertical_waste += 1
+        else:
+            stats.packet_threads[threads_contributing] = (
+                stats.packet_threads.get(threads_contributing, 0) + 1
+            )
+        if self._hooks:
+            for h in self._hooks:
+                h.on_cycle(cycle, ops_this_cycle, threads_contributing)
+        cycle += 1
+        if stall_extra:
+            cycle += stall_extra
+            stats.stall_cycles += stall_extra
+            stats.vertical_waste += stall_extra
+        return cycle
+
     # ------------------------------------------------------------------
     def run(
         self,
@@ -239,100 +353,31 @@ class Processor:
         ``max_cycles``).  Returns the statistics object."""
         params = self.params
         stats = self.stats
-        engine = self.engine
-        policy = self.policy
-        split = policy.split
         threads = self.threads
         limit = max_cycles if max_cycles is not None else params.max_cycles
         timeslice = params.timeslice
         next_switch = timeslice
         switching = False
         multi = len(self.benches) > 1 and timeslice > 0
+        if self._hooks:
+            for h in self._hooks:
+                h.on_run_start(self)
 
         cycle = stats.cycles
         end_cycle = cycle + limit
 
         while cycle < end_cycle:
-            ops_this_cycle = 0
-            threads_contributing = 0
-            stall_extra = 0
-
-            engine.begin_cycle()
-            for t in self.priority.order(cycle):
-                th = threads[t]
-                if th.bench is None or cycle < th.stall_until:
-                    continue
-                if th.pend is None:
-                    if cycle < th.fetch_at or (switching):
-                        continue
-                    if not self._fetch(th, cycle):
-                        continue
-                pend = th.pend
-                if pend.ops_total == 0:
-                    # empty instruction (compiler latency-padding NOP
-                    # cycle): consumes this thread's issue cycle
-                    self._retire(th, cycle)
-                    continue
-                if split == "none":
-                    if engine.try_whole(pend):
-                        n = pend.ops_total
-                        mem = th.table.mem_cmask[pend.static_index]
-                    else:
-                        n, mem = 0, 0
-                elif split == "cluster":
-                    issued_mask, n = engine.try_bundles(pend)
-                    mem = (
-                        th.table.mem_cmask[pend.static_index] & issued_mask
-                    )
-                else:  # op
-                    n, _cmask, mem = engine.try_ops(pend)
-
-                if n:
-                    ops_this_cycle += n
-                    threads_contributing += 1
-                    th.bench.stats.operations += n
-                    if mem:
-                        self._dcache_probe(th, mem, cycle)
-                    if pend.done:
-                        if pend.buffered_store_mask:
-                            # last-part commit: buffered stores need the
-                            # memory ports *now* (Fig. 11)
-                            conflicts = (
-                                pend.buffered_store_mask
-                                & engine.mem_used_mask
-                            )
-                            engine.mem_used_mask |= (
-                                pend.buffered_store_mask
-                            )
-                            stall_extra += bin(conflicts).count("1")
-                        self._retire(th, cycle)
-                    else:
-                        # stores issued in a non-final part are buffered
-                        sm = th.table.store_cmask[pend.static_index] & (
-                            mem
-                        )
-                        if sm:
-                            pend.buffer_stores(sm)
-
-            stats.operations += ops_this_cycle
-            if ops_this_cycle == 0:
-                stats.vertical_waste += 1
-            else:
-                stats.packet_threads[threads_contributing] = (
-                    stats.packet_threads.get(threads_contributing, 0) + 1
-                )
-            cycle += 1
-            if stall_extra:
-                cycle += stall_extra
-                stats.stall_cycles += stall_extra
-                stats.vertical_waste += stall_extra
+            ops, contributing, stall_extra = self._issue_cycle(
+                cycle, switching
+            )
+            cycle = self._account_cycle(cycle, ops, contributing, stall_extra)
 
             # ---- multitasking scheduler ----
             if multi and cycle >= next_switch:
                 if not switching:
                     switching = True  # drain split instructions first
                 if all(th.pend is None for th in threads):
-                    self._context_switch()
+                    self._context_switch(cycle)
                     next_switch = cycle + timeslice
                     switching = False
 
@@ -340,6 +385,9 @@ class Processor:
                 break
 
         stats.cycles = cycle
+        if self._hooks:
+            for h in self._hooks:
+                h.on_run_end(stats)
         return stats
 
 

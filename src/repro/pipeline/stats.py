@@ -21,6 +21,23 @@ class BenchStats:
     operations: int = 0
     respawns: int = 0
 
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "instructions": self.instructions,
+            "operations": self.operations,
+            "respawns": self.respawns,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "BenchStats":
+        return cls(
+            name=d["name"],
+            instructions=d["instructions"],
+            operations=d["operations"],
+            respawns=d["respawns"],
+        )
+
 
 @dataclass
 class SimStats:
@@ -64,6 +81,57 @@ class SimStats:
         )
         multi = sum(v for k, v in self.packet_threads.items() if k >= 2)
         return multi / total if total else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-safe form (disk cache, worker-process IPC).
+
+        ``packet_threads`` keys become strings (JSON objects only take
+        string keys); :meth:`from_dict` restores them to ints.
+        """
+        return {
+            "cycles": self.cycles,
+            "operations": self.operations,
+            "instructions": self.instructions,
+            "vertical_waste": self.vertical_waste,
+            "stall_cycles": self.stall_cycles,
+            "packet_threads": {
+                str(k): v for k, v in self.packet_threads.items()
+            },
+            "split_instructions": self.split_instructions,
+            "icache_misses": self.icache_misses,
+            "dcache_misses": self.dcache_misses,
+            "icache_accesses": self.icache_accesses,
+            "dcache_accesses": self.dcache_accesses,
+            "context_switches": self.context_switches,
+            "per_bench": {
+                name: b.to_dict() for name, b in self.per_bench.items()
+            },
+            "issue_width": self.issue_width,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SimStats":
+        return cls(
+            cycles=d["cycles"],
+            operations=d["operations"],
+            instructions=d["instructions"],
+            vertical_waste=d["vertical_waste"],
+            stall_cycles=d["stall_cycles"],
+            packet_threads={
+                int(k): v for k, v in d["packet_threads"].items()
+            },
+            split_instructions=d["split_instructions"],
+            icache_misses=d["icache_misses"],
+            dcache_misses=d["dcache_misses"],
+            icache_accesses=d["icache_accesses"],
+            dcache_accesses=d["dcache_accesses"],
+            context_switches=d["context_switches"],
+            per_bench={
+                name: BenchStats.from_dict(b)
+                for name, b in d["per_bench"].items()
+            },
+            issue_width=d["issue_width"],
+        )
 
     def summary(self) -> dict[str, float]:
         return {

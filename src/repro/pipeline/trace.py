@@ -25,6 +25,7 @@ per-cycle cost.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -167,6 +168,10 @@ class TraceBundle:
             0: (self.static, self.addr_rows)
         }
         self._addrs_np = addrs
+        # computed eagerly while the numpy arrays are in hand, so the
+        # bundle does not retain a second copy of idx/taken for a lazy
+        # hash (bundles live for the process in the suite memo)
+        self._fingerprint = self._compute_fingerprint(idx, taken, addrs)
 
     def rotated(self, r: int) -> tuple[StaticTable, list]:
         """Static table and address rows under cluster renaming ``r``."""
@@ -180,6 +185,45 @@ class TraceBundle:
     @property
     def avg_ops_per_instr(self) -> float:
         return self.total_ops / max(1, self.length)
+
+    def _compute_fingerprint(
+        self, idx: np.ndarray, taken: np.ndarray, addrs: np.ndarray
+    ) -> str:
+        h = hashlib.sha256()
+        h.update(self.name.encode())
+        h.update(np.ascontiguousarray(idx, np.int64).tobytes())
+        h.update(np.ascontiguousarray(taken, np.int8).tobytes())
+        h.update(np.ascontiguousarray(addrs, np.int64).tobytes())
+        st = self.static
+        # ops_desc is order-sensitive: op-level split issues ops in
+        # this order under resource pressure, so a reorder changes
+        # replay even when the aggregate masks are identical
+        h.update(
+            repr(
+                (
+                    st.n_clusters,
+                    st.packed,
+                    st.cmask,
+                    st.bundle_packed,
+                    st.bundle_nops,
+                    st.mem_cmask,
+                    st.store_cmask,
+                    st.icc,
+                    st.nops,
+                    st.ops_desc,
+                    st.pc,
+                )
+            ).encode()
+        )
+        return h.hexdigest()
+
+    def fingerprint(self) -> str:
+        """Content hash of the dynamic trace + merge-relevant static
+        tables.  Two bundles with the same fingerprint replay
+        identically under any policy, so the engine's disk cache keys
+        on this rather than on kernel names (a kernel edit or a scale
+        change invalidates every cached result that used it)."""
+        return self._fingerprint
 
 
 def record_trace(

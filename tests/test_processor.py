@@ -13,7 +13,7 @@ from repro.pipeline.processor import Processor, SimParams, run_single_thread
 from repro.pipeline.trace import record_trace
 from repro.compiler.pipeline import compile_kernel
 
-from conftest import make_axpy, make_wide
+from _kernels import make_axpy, make_wide
 
 
 def params(**kw):

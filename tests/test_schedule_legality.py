@@ -13,7 +13,7 @@ from repro.compiler.pipeline import compile_kernel
 from repro.isa.opcodes import FUClass, Opcode
 from repro.isa.program import Program
 
-from conftest import make_axpy, make_wide
+from _kernels import make_axpy, make_wide
 
 
 def check_resources(program: Program, cfg=PAPER_MACHINE) -> None:

@@ -7,7 +7,7 @@ from repro.arch.config import PAPER_MACHINE
 from repro.arch.resources import unpack_usage
 from repro.pipeline.trace import build_static_table, record_trace
 
-from conftest import make_axpy, make_wide
+from _kernels import make_axpy, make_wide
 from repro.compiler.pipeline import compile_kernel
 
 
