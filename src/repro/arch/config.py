@@ -57,6 +57,119 @@ class CacheConfig:
 
 
 @dataclass(frozen=True)
+class DramConfig:
+    """Banked-DRAM backend of the memory hierarchy.
+
+    ``latency`` is the critical-word latency in core cycles; a request
+    to a bank that is still busy (within ``bank_busy`` cycles of the
+    previous request's start) waits until the bank frees up.  Banks are
+    selected by interleaving ``interleave_bytes``-sized blocks.
+    """
+
+    latency: int = 20
+    n_banks: int = 1
+    bank_busy: int = 0
+    interleave_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        if self.latency < 0 or self.bank_busy < 0:
+            raise ValueError("DRAM latencies must be non-negative")
+        if self.n_banks < 1 or self.n_banks & (self.n_banks - 1):
+            raise ValueError("bank count must be a power of two")
+        if (
+            self.interleave_bytes < 1
+            or self.interleave_bytes & (self.interleave_bytes - 1)
+        ):
+            raise ValueError("interleave size must be a power of two")
+
+
+#: Prefetcher kinds understood by the memory hierarchy.
+PREFETCH_KINDS = ("none", "nextline", "stride")
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """Everything below the private L1s: optional shared L2, optional
+    data prefetcher, optional banked DRAM.
+
+    The all-defaults configuration is the paper's flat §VI-A model: no
+    L2, no prefetch, no DRAM timing — an L1 miss costs exactly that
+    L1's ``miss_penalty``, bit-identical to the single-level simulator.
+    With ``l2`` set, an L1 miss that hits L2 costs ``l2_hit_latency``;
+    an L2 miss additionally pays DRAM (or ``l2.miss_penalty`` when
+    ``dram`` is ``None``).  With ``dram`` set and no L2, every L1 miss
+    goes straight to DRAM.
+    """
+
+    name: str = "paper"
+    l2: CacheConfig | None = None
+    l2_hit_latency: int = 8
+    prefetch: str = "none"
+    prefetch_degree: int = 1
+    dram: DramConfig | None = None
+
+    def __post_init__(self) -> None:
+        if self.prefetch not in PREFETCH_KINDS:
+            raise ValueError(
+                f"unknown prefetcher {self.prefetch!r}; "
+                f"choose one of {PREFETCH_KINDS}"
+            )
+        if self.prefetch_degree < 1:
+            raise ValueError("prefetch_degree must be >= 1")
+        if self.l2_hit_latency < 0:
+            raise ValueError("l2_hit_latency must be non-negative")
+
+    @property
+    def is_flat(self) -> bool:
+        """True for the paper's single-level fixed-penalty model."""
+        return (
+            self.l2 is None and self.dram is None and self.prefetch == "none"
+        )
+
+
+#: A 512 KB 8-way shared L2 over a 60-cycle 8-bank DRAM.
+_L2 = CacheConfig(
+    size_bytes=512 * 1024, assoc=8, line_bytes=32, miss_penalty=60
+)
+_DRAM = DramConfig(latency=60, n_banks=8, bank_busy=4)
+
+#: Named memory scenarios (`repro run|sweep --memory <preset>`).
+MEMORY_PRESETS: dict[str, MemoryConfig] = {
+    "paper": MemoryConfig(),
+    "slow-dram": MemoryConfig(
+        name="slow-dram",
+        dram=DramConfig(latency=60, n_banks=4, bank_busy=8),
+    ),
+    "l2": MemoryConfig(name="l2", l2=_L2, dram=_DRAM),
+    "l2+prefetch": MemoryConfig(
+        name="l2+prefetch",
+        l2=_L2,
+        dram=_DRAM,
+        prefetch="nextline",
+        prefetch_degree=2,
+    ),
+    "l2+stride": MemoryConfig(
+        name="l2+stride",
+        l2=_L2,
+        dram=_DRAM,
+        prefetch="stride",
+        prefetch_degree=2,
+    ),
+}
+
+
+def get_memory_config(name: str) -> MemoryConfig:
+    """Look up a memory-scenario preset by name."""
+    try:
+        return MEMORY_PRESETS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown memory preset {name!r}; "
+            f"choose one of {sorted(MEMORY_PRESETS)}"
+        ) from None
+
+
+@dataclass(frozen=True)
 class MachineConfig:
     """Full machine description shared by compiler, VM and timing model."""
 
@@ -64,6 +177,9 @@ class MachineConfig:
     cluster: ClusterConfig = field(default_factory=ClusterConfig)
     icache: CacheConfig = field(default_factory=CacheConfig)
     dcache: CacheConfig = field(default_factory=CacheConfig)
+    #: levels below the L1s (L2 / prefetch / DRAM); the default is the
+    #: paper's flat model
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
     taken_branch_penalty: int = 1
     cmp_to_branch_delay: int = 2
     n_branch_regs: int = 8

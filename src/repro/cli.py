@@ -8,7 +8,13 @@ Commands
 ``fig``      — regenerate a paper figure (13, 14, 15 or 16)
 ``claims``   — evaluate the §VI-B headline claims
 ``waste``    — vertical/horizontal waste decomposition per policy
+``mem``      — memory-sensitivity report across hierarchy presets
 ``report``   — run the full matrix and (re)write EXPERIMENTS.md
+
+``run`` and ``sweep`` take ``--memory <preset>`` (presets from
+``repro.arch.config.MEMORY_PRESETS``: the paper's flat model, shared
+L2, prefetchers, banked DRAM); ``sweep --memory`` accepts several
+presets and sweeps them as a fourth matrix axis.
 
 Global flags ``--jobs N`` (process-pool width for sweeps) and
 ``--cache-dir DIR`` (content-hashed on-disk result cache; a rerun with
@@ -23,6 +29,7 @@ import argparse
 import json
 import sys
 
+from .arch.config import MEMORY_PRESETS
 from .core.policies import BY_NAME
 from .harness.claims import evaluate_claims, render_claims
 from .harness.experiment import (
@@ -55,29 +62,65 @@ def _runner(args) -> ExperimentRunner:
 
 def cmd_run(args) -> int:
     r = _runner(args)
-    s = r.run(args.policy, args.workload, args.threads)
+    s = r.run(args.policy, args.workload, args.threads, memory=args.memory)
     print(json.dumps(s.summary(), indent=1))
+    # the paper's flat model adds nothing beyond the summary's
+    # icache/dcache miss rates; hierarchies get the per-level breakdown
+    if s.memory.get("levels", {}).get("l2") or s.memory.get("dram"):
+        from .harness.memreport import render_memory_levels
+
+        print(render_memory_levels(s))
     return 0
 
 
 def cmd_sweep(args) -> int:
     session = _runner(args).session
+    memory = tuple(args.memory) if args.memory else None
     results = session.sweep(
         policies=args.policies,
         workloads=args.workloads,
         n_threads=tuple(args.threads),
+        memory=memory,
     )
-    print(f"{'T':>2s} {'policy':9s} {'workload':>9s} {'IPC':>6s}")
-    for (pol, w, nt), s in sorted(
-        results.items(), key=lambda kv: (kv[0][2], kv[0][0], kv[0][1])
+    mem_w = max(6, max(len(m) for m in memory)) if memory else 0
+    mem_hdr = f" {'memory':>{mem_w}s}" if memory else ""
+    print(f"{'T':>2s} {'policy':9s} {'workload':>9s}{mem_hdr} {'IPC':>6s}")
+    rows = [
+        ((*k, None) if len(k) == 3 else k, s) for k, s in results.items()
+    ]
+    for (pol, w, nt, m), s in sorted(
+        rows, key=lambda kv: (kv[0][3] or "", kv[0][2], kv[0][0], kv[0][1])
     ):
-        print(f"{nt:2d} {pol:9s} {w:>9s} {s.ipc:6.2f}")
+        mem_col = f" {m:>{mem_w}s}" if memory else ""
+        print(f"{nt:2d} {pol:9s} {w:>9s}{mem_col} {s.ipc:6.2f}")
     info = session.cache_stats()
     print(
         f"# {len(results)} cells: {info['simulations']} simulated, "
         f"{info['disk_hits']} from disk cache",
         file=sys.stderr,
     )
+    return 0
+
+
+def cmd_mem(args) -> int:
+    from .harness.memreport import memory_sensitivity, render_memory_report
+
+    r = _runner(args)
+    presets = args.memory or list(MEMORY_PRESETS)
+    if args.jobs > 1:
+        # fan cold preset cells over the pool; memory_sensitivity then
+        # reads them from the memo
+        r.session.sweep(
+            policies=[args.policy],
+            workloads=[args.workload],
+            n_threads=(args.threads,),
+            memory=tuple(presets),
+        )
+    rows = memory_sensitivity(
+        r, args.policy, args.workload, args.threads, presets
+    )
+    print(render_memory_report(rows, args.policy, args.workload,
+                               args.threads))
     return 0
 
 
@@ -202,6 +245,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--policy", default="CCSI AS")
     p.add_argument("--workload", default="llhh", choices=list(WORKLOADS))
     p.add_argument("--threads", type=int, default=4, choices=(1, 2, 4))
+    p.add_argument("--memory", default="paper",
+                   choices=sorted(MEMORY_PRESETS), metavar="PRESET",
+                   help="memory-hierarchy preset "
+                        f"({', '.join(sorted(MEMORY_PRESETS))})")
     p.set_defaults(func=cmd_run)
 
     p = add_parser(
@@ -215,7 +262,21 @@ def build_parser() -> argparse.ArgumentParser:
                    help="subset of workloads (default: all nine)")
     p.add_argument("--threads", type=int, nargs="+", default=(2, 4),
                    choices=(1, 2, 4), metavar="T")
+    p.add_argument("--memory", nargs="+", default=None,
+                   choices=sorted(MEMORY_PRESETS), metavar="PRESET",
+                   help="memory presets to sweep as a fourth axis")
     p.set_defaults(func=cmd_sweep)
+
+    p = add_parser(
+        "mem", help="memory-sensitivity report across hierarchy presets"
+    )
+    p.add_argument("--policy", default="CCSI AS")
+    p.add_argument("--workload", default="llhh", choices=list(WORKLOADS))
+    p.add_argument("--threads", type=int, default=4, choices=(1, 2, 4))
+    p.add_argument("--memory", nargs="+", default=None,
+                   choices=sorted(MEMORY_PRESETS), metavar="PRESET",
+                   help="presets to compare (default: all)")
+    p.set_defaults(func=cmd_mem)
 
     p = add_parser("fig", help="regenerate a paper figure")
     p.add_argument("number", type=int, choices=(13, 14, 15, 16))

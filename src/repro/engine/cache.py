@@ -34,7 +34,9 @@ from ..pipeline.stats import SimStats
 
 #: Bump when the SimStats schema or simulator semantics change in a way
 #: that makes old entries unusable.
-CACHE_VERSION = 1
+#: v2: SimStats grew per-level ``memory`` counters; MachineConfig grew
+#: the ``memory`` hierarchy block (both hashed into every key).
+CACHE_VERSION = 2
 
 
 def cache_key(

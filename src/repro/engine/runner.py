@@ -18,7 +18,8 @@ from concurrent.futures import ProcessPoolExecutor
 from ..pipeline.stats import SimStats
 
 #: One worker task: everything needed to reproduce a cell from scratch.
-#: (policy_name, member_names, n_threads, scale, cfg)
+#: (policy_name, member_names, n_threads, scale, cfg) — the cfg already
+#: carries the cell's memory-scenario preset.
 _CellPayload = tuple
 
 
@@ -36,10 +37,11 @@ def _simulate_cell(payload: _CellPayload) -> dict:
 
 def run_matrix(
     session,
-    specs: list[tuple[str, str, int]],
+    specs: list[tuple],
     jobs: int = 1,
-) -> dict[tuple[str, str, int], SimStats]:
-    """Execute ``specs`` (policy, workload, n_threads) through
+) -> dict[tuple, SimStats]:
+    """Execute ``specs`` — (policy, workload, n_threads) triples, or
+    quadruples with a memory-preset name appended — through
     ``session``, fanning cache misses out over ``jobs`` processes.
 
     Serial (``jobs <= 1``) just drives ``session.run``.  Parallel first
@@ -61,7 +63,7 @@ def run_matrix(
             results[spec] = session.run(*spec)
         return results
 
-    pending: list[tuple[str, str, int]] = []
+    pending: list[tuple] = []
     for spec in specs:
         stats = session.lookup(*spec)
         if stats is not None:
@@ -72,20 +74,26 @@ def run_matrix(
     if pending:
         payloads = [
             (
-                policy,
-                session.workload_members(workload),
-                n_threads,
+                spec[0],
+                session.workload_members(spec[1]),
+                spec[2],
                 session.scale,
-                session.cfg,
+                session.resolve_cfg(spec[3] if len(spec) > 3 else None),
             )
-            for (policy, workload, n_threads) in pending
+            for spec in pending
         ]
         with ProcessPoolExecutor(max_workers=jobs) as pool:
             for spec, stats_dict in zip(
                 pending, pool.map(_simulate_cell, payloads)
             ):
                 stats = SimStats.from_dict(stats_dict)
-                session.adopt(*spec, stats)
+                session.adopt(
+                    spec[0],
+                    spec[1],
+                    spec[2],
+                    stats,
+                    spec[3] if len(spec) > 3 else None,
+                )
                 session.simulations += 1
                 results[spec] = stats
     return results

@@ -11,17 +11,19 @@ experiment scale, and seed — and layers three result stores under one
 3. the simulator itself (:class:`~repro.pipeline.processor.Processor`),
    the only place in the codebase that constructs one for experiments.
 
-``sweep()`` executes a policy × workload × thread-count matrix, serially
-or on a process pool (:mod:`repro.engine.runner`); the same seed gives
-bit-identical counters either way, because every cell is an independent
-deterministic simulation.
+``sweep()`` executes a policy × workload × thread-count matrix —
+optionally × memory-scenario (`memory=` presets from
+:data:`repro.arch.config.MEMORY_PRESETS`) — serially or on a process
+pool (:mod:`repro.engine.runner`); the same seed gives bit-identical
+counters either way, because every cell is an independent deterministic
+simulation.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
-from ..arch.config import MachineConfig, PAPER_MACHINE
+from ..arch.config import MachineConfig, PAPER_MACHINE, get_memory_config
 from ..core.policies import ALL_POLICIES, Policy, get_policy
 from ..kernels.suite import get_trace
 from ..pipeline.processor import Processor, SimParams
@@ -76,13 +78,19 @@ class SimulationSession:
         cache_dir: str | None = None,
         jobs: int = 1,
         hooks=None,
+        memory: str | None = None,
     ):
+        if memory is not None:
+            cfg = replace(cfg, memory=get_memory_config(memory))
         self.scale = scale
         self.cfg = cfg
         self.jobs = max(1, jobs)
         self.hooks = tuple(hooks) if hooks else ()
         self.cache = ResultCache(cache_dir) if cache_dir else None
         self._memo: dict[tuple, SimStats] = {}
+        #: per-preset machine configs derived from ``cfg`` (the memory
+        #: hierarchy is the only field that varies along the sweep axis)
+        self._preset_cfgs: dict[str, MachineConfig] = {}
         #: Processor runs actually executed on behalf of this session
         #: (including pool workers); zero on a warm-cache rerun.
         self.simulations = 0
@@ -104,7 +112,21 @@ class SimulationSession:
             return tuple(_workloads_table()[workload])
         return tuple(workload)
 
+    def resolve_cfg(self, memory: str | None) -> MachineConfig:
+        """Machine config for one memory-scenario preset (``None`` =
+        the session's own config)."""
+        if memory is None:
+            return self.cfg
+        cfg = self._preset_cfgs.get(memory)
+        if cfg is None:
+            cfg = replace(self.cfg, memory=get_memory_config(memory))
+            self._preset_cfgs[memory] = cfg
+        return cfg
+
     def _bundles(self, members: tuple[str, ...]) -> list[TraceBundle]:
+        # Always built against the session's base config: the memory
+        # hierarchy is invisible to the compiler and the functional VM,
+        # so every preset shares one compile + trace per benchmark.
         return [
             get_trace(name, self.scale.kernel_scale, self.cfg)
             for name in members
@@ -116,43 +138,77 @@ class SimulationSession:
         members: tuple[str, ...],
         n_threads: int,
         params: SimParams,
+        cfg: MachineConfig | None = None,
     ) -> str | None:
         if self.cache is None:
             return None
         prints = tuple(b.fingerprint() for b in self._bundles(members))
         return cache_key(
-            self.cfg, params, policy_name, members, prints, n_threads
+            self.cfg if cfg is None else cfg,
+            params,
+            policy_name,
+            members,
+            prints,
+            n_threads,
         )
 
     def _cell(
-        self, policy: Policy | str, workload, n_threads: int
-    ) -> tuple[Policy, tuple[str, ...], tuple]:
-        """Normalise one matrix-cell spec to (policy, members, memo key)."""
+        self,
+        policy: Policy | str,
+        workload,
+        n_threads: int,
+        memory: str | None = None,
+    ) -> tuple[Policy, tuple[str, ...], MachineConfig, tuple]:
+        """Normalise one matrix-cell spec to
+        (policy, members, machine config, memo key)."""
         if isinstance(policy, str):
             policy = get_policy(policy)
         members = self.workload_members(workload)
-        return policy, members, ("cell", policy.name, members, n_threads)
+        cfg = self.resolve_cfg(memory)
+        # keyed by the full (frozen, hashable) memory config, not its
+        # name: a custom MemoryConfig sharing a preset's name must not
+        # collide with that preset in the memo
+        key = ("cell", policy.name, members, n_threads, cfg.memory)
+        return policy, members, cfg, key
 
     # ------------------------------------------------------- execution
-    def run(self, policy: Policy | str, workload, n_threads: int) -> SimStats:
-        """One cell of the matrix: memo → disk cache → simulate."""
-        stats = self.lookup(policy, workload, n_threads)
+    def run(
+        self,
+        policy: Policy | str,
+        workload,
+        n_threads: int,
+        memory: str | None = None,
+    ) -> SimStats:
+        """One cell of the matrix: memo → disk cache → simulate.
+
+        ``memory`` names a :data:`~repro.arch.config.MEMORY_PRESETS`
+        scenario to run the cell under (default: the session's own
+        memory configuration)."""
+        stats = self.lookup(policy, workload, n_threads, memory)
         if stats is None:
-            policy, members, _ = self._cell(policy, workload, n_threads)
+            policy, members, cfg, _ = self._cell(
+                policy, workload, n_threads, memory
+            )
             proc = Processor(
                 policy,
                 self._bundles(members),
                 n_threads,
-                self.cfg,
+                cfg,
                 self.params(),
                 hooks=self.hooks,
             )
             stats = proc.run()
             self.simulations += 1
-            self.adopt(policy, members, n_threads, stats)
+            self.adopt(policy, members, n_threads, stats, memory)
         return stats
 
-    def lookup(self, policy: Policy | str, workload, n_threads: int):
+    def lookup(
+        self,
+        policy: Policy | str,
+        workload,
+        n_threads: int,
+        memory: str | None = None,
+    ):
         """Memo/disk-cache probe that never simulates (``None`` on miss).
 
         A hooked session never reads the disk cache: a disk hit would
@@ -161,11 +217,13 @@ class SimulationSession:
         hits are fine — the in-process run that populated the memo
         already fired its events.)
         """
-        policy, members, memo_key = self._cell(policy, workload, n_threads)
+        policy, members, cfg, memo_key = self._cell(
+            policy, workload, n_threads, memory
+        )
         stats = self._memo.get(memo_key)
         if stats is None and not self.hooks:
             disk_key = self._disk_key(
-                policy.name, members, n_threads, self.params()
+                policy.name, members, n_threads, self.params(), cfg
             )
             if disk_key is not None:
                 stats = self.cache.get(disk_key)
@@ -174,13 +232,22 @@ class SimulationSession:
         return stats
 
     def adopt(
-        self, policy: Policy | str, workload, n_threads: int, stats: SimStats
+        self,
+        policy: Policy | str,
+        workload,
+        n_threads: int,
+        stats: SimStats,
+        memory: str | None = None,
     ) -> None:
         """Store a computed result (local or a pool worker's) in the
         memo and disk cache, as if this session had simulated it."""
-        policy, members, memo_key = self._cell(policy, workload, n_threads)
+        policy, members, cfg, memo_key = self._cell(
+            policy, workload, n_threads, memory
+        )
         self._memo[memo_key] = stats
-        disk_key = self._disk_key(policy.name, members, n_threads, self.params())
+        disk_key = self._disk_key(
+            policy.name, members, n_threads, self.params(), cfg
+        )
         if disk_key is not None:
             self.cache.put(
                 disk_key,
@@ -189,6 +256,7 @@ class SimulationSession:
                     "policy": policy.name,
                     "members": list(members),
                     "n_threads": n_threads,
+                    "memory": cfg.memory.name,
                 },
             )
 
@@ -244,10 +312,16 @@ class SimulationSession:
         workloads=None,
         n_threads=(2, 4),
         jobs: int | None = None,
-    ) -> dict[tuple[str, str, int], SimStats]:
+        memory=None,
+    ) -> dict[tuple, SimStats]:
         """Run a policy × workload × thread-count matrix, optionally on
         a process pool.  Returns ``{(policy, workload, nt): SimStats}``;
-        cells already in the memo or disk cache are not re-simulated."""
+        cells already in the memo or disk cache are not re-simulated.
+
+        ``memory`` adds a fourth sweep axis: a preset name (or sequence
+        of names) from :data:`~repro.arch.config.MEMORY_PRESETS`.  When
+        given, result keys become ``(policy, workload, nt, preset)``
+        and each cell simulates under that memory scenario."""
         from .runner import run_matrix
 
         if policies is None:
@@ -257,12 +331,22 @@ class SimulationSession:
         ]
         if workloads is None:
             workloads = list(_workloads_table())
-        specs = [
-            (p, w, nt)
-            for nt in n_threads
-            for p in policies
-            for w in workloads
-        ]
+        if memory is None:
+            specs = [
+                (p, w, nt)
+                for nt in n_threads
+                for p in policies
+                for w in workloads
+            ]
+        else:
+            presets = (memory,) if isinstance(memory, str) else tuple(memory)
+            specs = [
+                (p, w, nt, m)
+                for m in presets
+                for nt in n_threads
+                for p in policies
+                for w in workloads
+            ]
         return run_matrix(self, specs, self.jobs if jobs is None else jobs)
 
     # ----------------------------------------------------- conveniences

@@ -9,6 +9,12 @@ from .experiment import (
     default_runner,
     with_quick_scale,
 )
+from .memreport import (
+    MemRow,
+    memory_sensitivity,
+    render_memory_levels,
+    render_memory_report,
+)
 from .figures import (
     FIG16_POLICIES,
     fig13a,
@@ -42,4 +48,8 @@ __all__ = [
     "WORKLOAD_ORDER",
     "WORKLOADS",
     "validate_workloads",
+    "MemRow",
+    "memory_sensitivity",
+    "render_memory_levels",
+    "render_memory_report",
 ]

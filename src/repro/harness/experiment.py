@@ -48,6 +48,7 @@ class ExperimentRunner:
         cache_dir: str | None = None,
         jobs: int = 1,
         session: SimulationSession | None = None,
+        memory: str | None = None,
     ):
         if session is not None:
             if (
@@ -55,15 +56,17 @@ class ExperimentRunner:
                 or cfg is not PAPER_MACHINE
                 or cache_dir is not None
                 or jobs != 1
+                or memory is not None
             ):
                 raise ValueError(
                     "session= is mutually exclusive with "
-                    "scale/cfg/cache_dir/jobs (the session owns those)"
+                    "scale/cfg/cache_dir/jobs/memory (the session owns "
+                    "those)"
                 )
             self.session = session
         else:
             self.session = SimulationSession(
-                scale, cfg, cache_dir=cache_dir, jobs=jobs
+                scale, cfg, cache_dir=cache_dir, jobs=jobs, memory=memory
             )
 
     @property
@@ -75,10 +78,15 @@ class ExperimentRunner:
         return self.session.cfg
 
     def run(
-        self, policy: Policy | str, workload: str, n_threads: int
+        self,
+        policy: Policy | str,
+        workload: str,
+        n_threads: int,
+        memory: str | None = None,
     ) -> SimStats:
-        """One cell of the matrix (memoised by the session)."""
-        return self.session.run(policy, workload, n_threads)
+        """One cell of the matrix (memoised by the session), optionally
+        under a named memory-scenario preset."""
+        return self.session.run(policy, workload, n_threads, memory)
 
     def ipc(self, policy: Policy | str, workload: str, n_threads: int) -> float:
         return self.session.ipc(policy, workload, n_threads)

@@ -29,6 +29,11 @@ def validate_workloads() -> None:
     """Sanity-check that every workload references known benchmarks and
     its name matches the ILP classes of its members (paper Fig. 13b)."""
     for name, members in WORKLOADS.items():
+        for m in members:
+            if m not in SUITE:
+                raise ValueError(
+                    f"workload {name}: unknown benchmark {m!r}"
+                )
         classes = sorted(SUITE[m][0].ilp_class for m in members)
         if sorted(name) != classes:
             raise ValueError(

@@ -1,5 +1,23 @@
-"""Cache hierarchy models (single-level I/D caches, perfect-memory mode)."""
+"""Memory models: per-level caches, the composable hierarchy
+(L1 / optional shared L2 / prefetch / banked DRAM), perfect-memory mode.
+"""
 
 from .cache import Cache, PerfectCache, make_cache
+from .hierarchy import (
+    Dram,
+    MemorySystem,
+    NextLinePrefetcher,
+    StridePrefetcher,
+    make_prefetcher,
+)
 
-__all__ = ["Cache", "PerfectCache", "make_cache"]
+__all__ = [
+    "Cache",
+    "PerfectCache",
+    "make_cache",
+    "Dram",
+    "MemorySystem",
+    "NextLinePrefetcher",
+    "StridePrefetcher",
+    "make_prefetcher",
+]

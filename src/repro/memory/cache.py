@@ -11,6 +11,12 @@ D-caches are write-back); dirty state is tracked for statistics but the
 single-level model charges no extra write-back penalty, matching the
 paper's flat 20-cycle figure.
 
+Each set is an insertion-ordered dict ``{line: dirty}`` with the MRU
+entry last: a hit is one dict pop + reinsert (O(1)) instead of the
+O(assoc) ``list.index`` scan of the earlier list-based implementation
+(``benchmarks/bench_memory.py`` tracks the delta), and the dict value
+doubles as the dirty bit.
+
 Multithreaded sharing: the SMT pipeline shares one ICache and one DCache
 among all hardware threads, so the model is thread-oblivious (the
 address stream interleaving *is* the sharing).
@@ -29,8 +35,8 @@ class Cache:
         "line_shift",
         "n_sets",
         "set_mask",
+        "assoc",
         "sets",
-        "dirty",
         "hits",
         "misses",
         "writebacks",
@@ -43,9 +49,9 @@ class Cache:
         self.set_mask = self.n_sets - 1
         if self.n_sets & self.set_mask:
             raise ValueError("set count must be a power of two")
-        # each set: list of tags in LRU order (front = MRU)
-        self.sets: list[list[int]] = [[] for _ in range(self.n_sets)]
-        self.dirty: list[set[int]] = [set() for _ in range(self.n_sets)]
+        self.assoc = cfg.assoc
+        # each set: insertion-ordered {line: dirty}, MRU last
+        self.sets: list[dict[int, bool]] = [{} for _ in range(self.n_sets)]
         self.hits = 0
         self.misses = 0
         self.writebacks = 0
@@ -59,8 +65,6 @@ class Cache:
         """Invalidate all lines (keeps statistics)."""
         for s in self.sets:
             s.clear()
-        for d in self.dirty:
-            d.clear()
 
     def line_of(self, addr: int) -> int:
         return addr >> self.line_shift
@@ -68,31 +72,39 @@ class Cache:
     def access(self, addr: int, is_write: bool = False) -> bool:
         """Probe the cache; returns True on hit.  Misses fill."""
         line = addr >> self.line_shift
-        set_i = line & self.set_mask
-        tag = line >> 0  # full line id as tag (set bits redundant, harmless)
-        ways = self.sets[set_i]
-        try:
-            pos = ways.index(tag)
-        except ValueError:
-            pos = -1
-        if pos >= 0:
-            if pos:
-                ways.insert(0, ways.pop(pos))
-            if is_write:
-                self.dirty[set_i].add(tag)
+        ways = self.sets[line & self.set_mask]
+        dirty = ways.pop(line, None)
+        if dirty is not None:
+            ways[line] = dirty or is_write  # reinsert as MRU
             self.hits += 1
             return True
-        # miss: fill, evict LRU
+        # miss: fill, evict LRU (the oldest insertion)
         self.misses += 1
-        ways.insert(0, tag)
-        if is_write:
-            self.dirty[set_i].add(tag)
-        if len(ways) > self.cfg.assoc:
-            victim = ways.pop()
-            if victim in self.dirty[set_i]:
-                self.dirty[set_i].discard(victim)
+        ways[line] = is_write
+        if len(ways) > self.assoc:
+            victim = next(iter(ways))
+            if ways.pop(victim):
                 self.writebacks += 1
         return False
+
+    def contains(self, addr: int) -> bool:
+        """Non-perturbing residency probe (no LRU update, no stats)."""
+        line = addr >> self.line_shift
+        return line in self.sets[line & self.set_mask]
+
+    def fill(self, addr: int) -> None:
+        """Install a line as MRU without touching the demand hit/miss
+        counters (prefetch fills); evictions still count writebacks."""
+        line = addr >> self.line_shift
+        ways = self.sets[line & self.set_mask]
+        dirty = ways.pop(line, None)
+        if dirty is None:
+            dirty = False
+            if len(ways) >= self.assoc:
+                victim = next(iter(ways))
+                if ways.pop(victim):
+                    self.writebacks += 1
+        ways[line] = dirty
 
     @property
     def accesses(self) -> int:
@@ -118,6 +130,8 @@ class PerfectCache:
 
     def reset_stats(self) -> None:
         self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
 
     def flush(self) -> None:  # pragma: no cover - trivial
         pass
@@ -128,6 +142,12 @@ class PerfectCache:
     def access(self, addr: int, is_write: bool = False) -> bool:
         self.hits += 1
         return True
+
+    def contains(self, addr: int) -> bool:
+        return True
+
+    def fill(self, addr: int) -> None:  # pragma: no cover - trivial
+        pass
 
     @property
     def accesses(self) -> int:

@@ -1,0 +1,261 @@
+"""Composable memory hierarchy (`repro.memory.hierarchy`).
+
+:class:`MemorySystem` generalises the single-level §VI-A model into a
+configurable stack — private L1I/L1D, an optional shared unified L2, an
+optional pluggable data prefetcher, and an optional banked-DRAM backend
+— declared by :class:`~repro.arch.config.MemoryConfig` (see
+``MEMORY_PRESETS`` and ``docs/memory.md``).
+
+The pipeline charges memory time through two entry points:
+``iaccess``/``daccess`` return ``None`` on an L1 hit (hit time is
+pipelined away, exactly as before) and the *extra* stall cycles on an
+L1 miss.  With the flat ``paper`` preset an L1 miss costs precisely
+that L1's ``miss_penalty``, reproducing the old single-level simulator
+bit for bit; with a hierarchy configured the charge is::
+
+    L1 miss, L2 hit   ->  l2_hit_latency
+    L1 miss, L2 miss  ->  l2_hit_latency + DRAM (or l2.miss_penalty)
+    L1 miss, no L2    ->  DRAM (or the L1's miss_penalty)
+
+where the DRAM charge is ``latency`` plus any wait for a busy bank.
+
+Prefetchers observe the L1D demand-miss stream and install predicted
+lines into L1D (and L2, keeping the hierarchy inclusive) without
+touching the demand counters; usefulness is counted when a demand hit
+lands on a prefetched line.  Everything is deterministic: the only
+inputs are the address stream and the cycle numbers the pipeline
+passes in.
+"""
+
+from __future__ import annotations
+
+from ..arch.config import DramConfig, MachineConfig, MemoryConfig
+from .cache import Cache, make_cache
+
+#: Cap on the tracked-prefetch set; cleared (deterministically) when
+#: exceeded so a pathological miss stream cannot grow it without bound.
+_PREFETCH_TRACK_LIMIT = 1 << 16
+
+
+class NextLinePrefetcher:
+    """Sequential prefetcher: on a demand miss to line ``L``, predict
+    ``L+1 .. L+degree``."""
+
+    __slots__ = ("degree",)
+
+    def __init__(self, degree: int = 1):
+        self.degree = degree
+
+    def predict(self, line: int) -> tuple[int, ...]:
+        return tuple(line + k for k in range(1, self.degree + 1))
+
+
+class StridePrefetcher:
+    """Stream prefetcher: when two consecutive demand misses repeat the
+    same non-zero line stride, predict ``degree`` more strides ahead."""
+
+    __slots__ = ("degree", "last_line", "last_stride")
+
+    def __init__(self, degree: int = 1):
+        self.degree = degree
+        self.last_line: int | None = None
+        self.last_stride = 0
+
+    def predict(self, line: int) -> tuple[int, ...]:
+        out: tuple[int, ...] = ()
+        if self.last_line is not None:
+            stride = line - self.last_line
+            if stride and stride == self.last_stride:
+                out = tuple(
+                    line + stride * k for k in range(1, self.degree + 1)
+                )
+            self.last_stride = stride
+        self.last_line = line
+        return out
+
+
+def make_prefetcher(kind: str, degree: int):
+    """Factory for the prefetcher kinds named in MemoryConfig."""
+    if kind == "none":
+        return None
+    if kind == "nextline":
+        return NextLinePrefetcher(degree)
+    if kind == "stride":
+        return StridePrefetcher(degree)
+    raise ValueError(f"unknown prefetcher kind {kind!r}")
+
+
+class Dram:
+    """Banked DRAM: fixed critical-word latency plus a deterministic
+    wait when the target bank is still busy with an earlier request."""
+
+    __slots__ = (
+        "cfg",
+        "bank_shift",
+        "bank_mask",
+        "bank_ready",
+        "accesses",
+        "bank_conflicts",
+        "wait_cycles",
+    )
+
+    def __init__(self, cfg: DramConfig):
+        self.cfg = cfg
+        self.bank_shift = cfg.interleave_bytes.bit_length() - 1
+        self.bank_mask = cfg.n_banks - 1
+        self.bank_ready = [0] * cfg.n_banks
+        self.accesses = 0
+        self.bank_conflicts = 0
+        self.wait_cycles = 0
+
+    def access(self, addr: int, cycle: int) -> int:
+        """Charge one request starting at ``cycle``; returns its total
+        latency (wait-for-bank + critical-word)."""
+        self.accesses += 1
+        cfg = self.cfg
+        if not cfg.bank_busy:
+            return cfg.latency
+        bank = (addr >> self.bank_shift) & self.bank_mask
+        start = self.bank_ready[bank]
+        if start > cycle:
+            self.bank_conflicts += 1
+            self.wait_cycles += start - cycle
+        else:
+            start = cycle
+        self.bank_ready[bank] = start + cfg.bank_busy
+        return (start - cycle) + cfg.latency
+
+
+class MemorySystem:
+    """The composable memory stack the pipeline charges time through."""
+
+    __slots__ = (
+        "mcfg",
+        "l1i",
+        "l1d",
+        "l2",
+        "dram",
+        "prefetcher",
+        "_i_miss_penalty",
+        "_d_miss_penalty",
+        "_d_line_shift",
+        "prefetch_issued",
+        "prefetch_useful",
+        "_prefetched",
+    )
+
+    def __init__(self, cfg: MachineConfig, perfect: bool = False):
+        m = cfg.memory
+        self.mcfg = m
+        self.l1i = make_cache(cfg.icache, perfect)
+        self.l1d = make_cache(cfg.dcache, perfect)
+        # A perfect-memory L1 never misses, so the lower levels are
+        # unreachable; skip building them.
+        self.l2 = Cache(m.l2) if (m.l2 is not None and not perfect) else None
+        self.dram = (
+            Dram(m.dram) if (m.dram is not None and not perfect) else None
+        )
+        self.prefetcher = (
+            None if perfect else make_prefetcher(m.prefetch, m.prefetch_degree)
+        )
+        self._i_miss_penalty = cfg.icache.miss_penalty
+        self._d_miss_penalty = cfg.dcache.miss_penalty
+        self._d_line_shift = cfg.dcache.line_bytes.bit_length() - 1
+        self.prefetch_issued = 0
+        self.prefetch_useful = 0
+        self._prefetched: set[int] = set()
+
+    # ------------------------------------------------------------ access
+    def _below_l1(self, addr: int, flat_penalty: int, cycle: int) -> int:
+        """Latency of servicing an L1 miss from the levels below."""
+        lat = 0
+        below = flat_penalty
+        l2 = self.l2
+        if l2 is not None:
+            lat = self.mcfg.l2_hit_latency
+            if l2.access(addr):
+                return lat
+            below = l2.cfg.miss_penalty
+        dram = self.dram
+        if dram is not None:
+            return lat + dram.access(addr, cycle + lat)
+        return lat + below
+
+    def iaccess(self, addr: int, cycle: int) -> int | None:
+        """Instruction fetch: ``None`` on an L1I hit, else the extra
+        stall cycles the fetch must wait."""
+        if self.l1i.access(addr):
+            return None
+        return self._below_l1(addr, self._i_miss_penalty, cycle)
+
+    def daccess(self, addr: int, is_write: bool, cycle: int) -> int | None:
+        """Data access: ``None`` on an L1D hit, else the extra stall
+        cycles the thread must wait."""
+        if self.l1d.access(addr, is_write):
+            pre = self._prefetched
+            if pre:
+                line = addr >> self._d_line_shift
+                if line in pre:
+                    pre.discard(line)
+                    self.prefetch_useful += 1
+            return None
+        lat = self._below_l1(addr, self._d_miss_penalty, cycle)
+        pf = self.prefetcher
+        if pf is not None:
+            line = addr >> self._d_line_shift
+            # a tracked line that demand-misses was evicted before use:
+            # the prefetch was not useful, stop tracking it
+            self._prefetched.discard(line)
+            self._issue_prefetches(pf, line)
+        return lat
+
+    def _issue_prefetches(self, pf, line: int) -> None:
+        l1d = self.l1d
+        l2 = self.l2
+        shift = self._d_line_shift
+        pre = self._prefetched
+        for pline in pf.predict(line):
+            if pline < 0:
+                continue
+            paddr = pline << shift
+            if l1d.contains(paddr):
+                continue
+            l1d.fill(paddr)
+            if l2 is not None:
+                l2.fill(paddr)
+            self.prefetch_issued += 1
+            pre.add(pline)
+            if len(pre) > _PREFETCH_TRACK_LIMIT:
+                pre.clear()
+
+    # ------------------------------------------------------- statistics
+    def stats_dict(self) -> dict:
+        """JSON-ready per-level counters (lands in ``SimStats.memory``)."""
+
+        def level(c) -> dict:
+            return {
+                "accesses": c.accesses,
+                "hits": c.hits,
+                "misses": c.misses,
+                "writebacks": c.writebacks,
+            }
+
+        out: dict = {
+            "preset": self.mcfg.name,
+            "levels": {"l1i": level(self.l1i), "l1d": level(self.l1d)},
+        }
+        if self.l2 is not None:
+            out["levels"]["l2"] = level(self.l2)
+        if self.dram is not None:
+            out["dram"] = {
+                "accesses": self.dram.accesses,
+                "bank_conflicts": self.dram.bank_conflicts,
+                "wait_cycles": self.dram.wait_cycles,
+            }
+        if self.prefetcher is not None:
+            out["prefetch"] = {
+                "kind": self.mcfg.prefetch,
+                "issued": self.prefetch_issued,
+                "useful": self.prefetch_useful,
+            }
+        return out

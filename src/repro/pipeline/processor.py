@@ -6,8 +6,11 @@ Replays functional traces under a multithreading/split-issue
 * per-cycle instruction merging via :class:`~repro.core.merging.MergeEngine`
   with round-robin thread priorities;
 * cluster renaming per hardware thread slot;
-* shared single-level ICache and DCache (64 KB 4-way, 20-cycle miss
-  penalty) or perfect memory (IPCp mode);
+* a shared memory hierarchy (:class:`~repro.memory.hierarchy.
+  MemorySystem`) — paper default: single-level 64 KB 4-way I/D caches
+  with a flat 20-cycle miss penalty; optionally a shared L2, data
+  prefetcher and banked DRAM via ``MachineConfig.memory`` presets — or
+  perfect memory (IPCp mode);
 * taken-branch penalty (1 cycle; fall-through is the predicted path);
 * per-thread stalls on cache misses ("execution is stalled until the
   architectural assumptions hold true");
@@ -31,7 +34,7 @@ from ..core.policies import Policy
 from ..core.priority import make_priority
 from ..core.renaming import renaming_vector
 from ..core.splitstate import PendingInstruction
-from ..memory.cache import make_cache
+from ..memory.hierarchy import MemorySystem
 from .stats import BenchStats, SimStats
 from .trace import TraceBundle
 
@@ -129,8 +132,9 @@ class Processor:
         self.engine = MergeEngine(cfg, policy.merge)
         self.priority = make_priority(self.params.priority, n_threads)
         self.rng = random.Random(self.params.seed)
-        self.icache = make_cache(cfg.icache, self.params.perfect_memory)
-        self.dcache = make_cache(cfg.dcache, self.params.perfect_memory)
+        self.mem = MemorySystem(cfg, self.params.perfect_memory)
+        self.icache = self.mem.l1i
+        self.dcache = self.mem.l1d
         self.iline_shift = cfg.icache.line_bytes.bit_length() - 1
         rot = (
             renaming_vector(n_threads, cfg.n_clusters)
@@ -178,9 +182,10 @@ class Processor:
         if line != th.last_iline:
             th.last_iline = line
             self.stats.icache_accesses += 1
-            if not self.icache.access(th.table.pc[i]):
+            lat = self.mem.iaccess(th.table.pc[i], cycle)
+            if lat is not None:
                 self.stats.icache_misses += 1
-                th.fetch_at = cycle + self.cfg.icache.miss_penalty
+                th.fetch_at = cycle + lat
                 return False
         th.pend = PendingInstruction(
             th.table, i, self.policy.split, self.policy.comm_split
@@ -219,9 +224,10 @@ class Processor:
     def _dcache_probe(
         self, th: _Thread, mem_mask: int, cycle: int
     ) -> None:
-        """Probe the DCache for the memory ops just issued; a miss
-        stalls the thread for the miss penalty (stall-on-miss, serialised
-        for multiple misses — single memory port, blocking cache)."""
+        """Probe the memory system for the memory ops just issued; an
+        L1D miss stalls the thread for the hierarchy's service latency
+        (stall-on-miss, serialised for multiple misses — single memory
+        port, blocking cache)."""
         row = th.addr_rows[th.bench.pos]
         store_mask = th.table.store_cmask[th.pend.static_index]
         penalty = 0
@@ -232,11 +238,16 @@ class Processor:
                 addr = row[c]
                 if addr >= 0:
                     self.stats.dcache_accesses += 1
-                    if not self.dcache.access(
-                        addr, is_write=bool((store_mask >> c) & 1)
-                    ):
+                    # misses are serialised (single port, blocking
+                    # cache), so each later miss starts after the
+                    # accumulated penalty — the DRAM bank model must
+                    # see its real start cycle
+                    lat = self.mem.daccess(
+                        addr, bool((store_mask >> c) & 1), cycle + penalty
+                    )
+                    if lat is not None:
                         self.stats.dcache_misses += 1
-                        penalty += self.cfg.dcache.miss_penalty
+                        penalty += lat
             m >>= 1
             c += 1
         if penalty:
@@ -385,6 +396,7 @@ class Processor:
                 break
 
         stats.cycles = cycle
+        stats.memory = self.mem.stats_dict()
         if self._hooks:
             for h in self._hooks:
                 h.on_run_end(stats)

@@ -59,6 +59,11 @@ class SimStats:
     context_switches: int = 0
     per_bench: dict[str, BenchStats] = field(default_factory=dict)
     issue_width: int = 16
+    #: per-level memory-hierarchy counters as reported by
+    #: :meth:`repro.memory.hierarchy.MemorySystem.stats_dict` —
+    #: ``{"preset", "levels": {"l1i"/"l1d"/"l2": ...}, "dram"?,
+    #: "prefetch"?}``; empty until a simulation populates it
+    memory: dict = field(default_factory=dict)
 
     @property
     def ipc(self) -> float:
@@ -107,6 +112,7 @@ class SimStats:
                 name: b.to_dict() for name, b in self.per_bench.items()
             },
             "issue_width": self.issue_width,
+            "memory": self.memory,
         }
 
     @classmethod
@@ -131,6 +137,7 @@ class SimStats:
                 for name, b in d["per_bench"].items()
             },
             issue_width=d["issue_width"],
+            memory=d.get("memory") or {},
         )
 
     def summary(self) -> dict[str, float]:

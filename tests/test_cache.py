@@ -85,11 +85,97 @@ def test_flush_invalidates():
     assert not c.access(0x100)
 
 
+def test_flush_keeps_stats():
+    c = small_cache(assoc=1, lines=1)
+    c.access(0x000, is_write=True)
+    c.access(0x020)  # evicts the dirty line
+    before = (c.hits, c.misses, c.writebacks)
+    c.flush()
+    assert (c.hits, c.misses, c.writebacks) == before
+    # flushed lines were invalidated, not written back again
+    assert not c.access(0x020)
+    assert c.writebacks == before[2]
+
+
 def test_reset_stats():
     c = small_cache()
     c.access(0)
     c.reset_stats()
     assert c.misses == 0 and c.hits == 0
+
+
+def test_reset_stats_clears_all_counters():
+    c = small_cache(assoc=1, lines=1)
+    c.access(0x000, is_write=True)
+    c.access(0x020)  # hit nothing, evict dirty -> writeback
+    c.access(0x020)
+    assert c.hits and c.misses and c.writebacks
+    c.reset_stats()
+    assert (c.hits, c.misses, c.writebacks) == (0, 0, 0)
+
+
+def test_perfect_cache_reset_stats_clears_all_counters():
+    p = PerfectCache(CacheConfig())
+    p.access(0)
+    # misses/writebacks stay zero in normal operation; the regression
+    # was reset_stats() leaving them stale when set
+    p.misses = 3
+    p.writebacks = 2
+    p.reset_stats()
+    assert (p.hits, p.misses, p.writebacks) == (0, 0, 0)
+
+
+def test_eviction_writeback_accounting_per_way():
+    c = small_cache(assoc=2, lines=1)  # one set, two ways
+    c.access(0 * 32, is_write=True)   # dirty
+    c.access(1 * 32)                  # clean
+    c.access(2 * 32)                  # evicts line 0 (dirty LRU)
+    assert c.writebacks == 1
+    c.access(3 * 32)                  # evicts line 1 (clean)
+    assert c.writebacks == 1
+    # a hit that writes re-dirties the resident line
+    c.access(3 * 32, is_write=True)
+    c.access(4 * 32)                  # evicts line 2 (clean)
+    c.access(5 * 32)                  # evicts line 3 (dirty via hit)
+    assert c.writebacks == 2
+
+
+def test_non_power_of_two_set_count_rejected():
+    # 3 sets: CacheConfig's divisibility check passes, Cache must refuse
+    cfg = CacheConfig(size_bytes=3 * 2 * 32, assoc=2, line_bytes=32)
+    assert cfg.n_sets == 3
+    with pytest.raises(ValueError, match="power of two"):
+        Cache(cfg)
+
+
+def test_contains_does_not_perturb():
+    c = small_cache(assoc=2, lines=1)
+    assert not c.contains(0x000)
+    c.access(0 * 32)
+    c.access(1 * 32)
+    # probing line 0 must not refresh it to MRU...
+    assert c.contains(0 * 32)
+    before = (c.hits, c.misses)
+    c.access(2 * 32)  # ...so line 0 is still the LRU victim
+    assert not c.contains(0 * 32)
+    assert c.contains(1 * 32)
+    # ...and contains() itself counted nothing
+    assert (c.hits, c.misses) == (before[0], before[1] + 1)
+
+
+def test_fill_installs_without_demand_stats():
+    c = small_cache(assoc=2, lines=1)
+    c.fill(0x000)
+    assert (c.hits, c.misses) == (0, 0)
+    assert c.access(0x000)  # the prefetched line hits on demand
+
+
+def test_fill_eviction_still_counts_writebacks():
+    c = small_cache(assoc=1, lines=1)
+    c.access(0x000, is_write=True)  # dirty
+    c.fill(0x020)                   # prefetch evicts the dirty line
+    assert c.writebacks == 1
+    assert (c.hits, c.misses) == (0, 1)
 
 
 def test_miss_rate():

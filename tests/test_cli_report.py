@@ -60,6 +60,39 @@ def test_cli_run_quick(capsys):
     assert out["ipc"] > 0
 
 
+def test_parser_memory_flags():
+    ap = build_parser()
+    args = ap.parse_args(["run", "--memory", "l2"])
+    assert args.memory == "l2"
+    args = ap.parse_args(["run"])
+    assert args.memory == "paper"
+    args = ap.parse_args(["sweep", "--memory", "paper", "l2+prefetch"])
+    assert args.memory == ["paper", "l2+prefetch"]
+    args = ap.parse_args(["mem", "--threads", "2"])
+    assert args.command == "mem" and args.memory is None
+    with pytest.raises(SystemExit):
+        ap.parse_args(["run", "--memory", "l3"])
+
+
+def test_cli_run_memory_hierarchy(capsys):
+    rc = main(["--quick", "run", "--policy", "SMT", "--workload", "llll",
+               "--threads", "2", "--memory", "l2"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    # summary JSON first, then the per-level breakdown
+    assert json.loads(out[: out.index("memory hierarchy")])["ipc"] > 0
+    assert "l2:" in out and "dram:" in out
+
+
+def test_cli_mem_report(capsys):
+    rc = main(["--quick", "mem", "--policy", "SMT", "--workload", "llll",
+               "--threads", "2", "--memory", "paper", "l2"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Memory sensitivity" in out
+    assert "paper" in out and "l2" in out
+
+
 # ------------------------------------------------------------------ report
 def _fake_results():
     return {

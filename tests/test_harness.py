@@ -41,6 +41,27 @@ def test_workload_names_match_classes():
     validate_workloads()  # raises on mismatch
 
 
+def test_validate_workloads_rejects_unknown_benchmark(monkeypatch):
+    from repro.harness import workloads
+
+    monkeypatch.setitem(
+        workloads.WORKLOADS, "llll", ("mcf", "bzip2", "blowfish", "nope")
+    )
+    with pytest.raises(ValueError, match="unknown benchmark 'nope'"):
+        validate_workloads()
+
+
+def test_validate_workloads_rejects_class_mismatch(monkeypatch):
+    from repro.harness import workloads
+
+    # idct is a high-ILP kernel: it cannot sit in an all-low mix
+    monkeypatch.setitem(
+        workloads.WORKLOADS, "llll", ("mcf", "bzip2", "blowfish", "idct")
+    )
+    with pytest.raises(ValueError, match="do not match its name"):
+        validate_workloads()
+
+
 def test_paper_fig13b_rows():
     assert WORKLOADS["llll"] == ("mcf", "bzip2", "blowfish", "gsmencode")
     assert WORKLOADS["hhhh"] == ("x264", "idct", "imgpipe", "colorspace")

@@ -1,0 +1,335 @@
+"""The memory-hierarchy subsystem (repro.memory.hierarchy) and its
+presets, engine axis, and CLI surface."""
+
+import json
+
+import pytest
+
+from repro.arch.config import (
+    MEMORY_PRESETS,
+    CacheConfig,
+    DramConfig,
+    MachineConfig,
+    MemoryConfig,
+    get_memory_config,
+)
+from repro.engine import ExperimentScale, SimulationSession
+from repro.memory.hierarchy import (
+    Dram,
+    MemorySystem,
+    NextLinePrefetcher,
+    StridePrefetcher,
+    make_prefetcher,
+)
+from repro.pipeline.stats import SimStats
+
+TINY = ExperimentScale(
+    kernel_scale=0.06, target_instructions=1_500, timeslice=800
+)
+
+L1 = CacheConfig(size_bytes=2 * 4 * 32, assoc=2, line_bytes=32,
+                 miss_penalty=20)
+
+
+def machine(**mem_kwargs) -> MachineConfig:
+    return MachineConfig(
+        icache=L1, dcache=L1, memory=MemoryConfig(**mem_kwargs)
+    )
+
+
+# ------------------------------------------------------------- config
+def test_paper_preset_is_flat():
+    m = get_memory_config("paper")
+    assert m.is_flat
+    assert m.l2 is None and m.dram is None and m.prefetch == "none"
+    # the all-defaults MachineConfig carries the paper preset
+    assert MachineConfig().memory == m
+
+
+def test_presets_cover_issue_scenarios():
+    for name in ("paper", "l2", "l2+prefetch"):
+        assert name in MEMORY_PRESETS
+    assert get_memory_config("l2").l2 is not None
+    assert get_memory_config("l2+prefetch").prefetch == "nextline"
+
+
+def test_unknown_preset_rejected():
+    with pytest.raises(ValueError, match="unknown memory preset"):
+        get_memory_config("l3")
+
+
+def test_memory_config_validation():
+    with pytest.raises(ValueError):
+        MemoryConfig(prefetch="oracle")
+    with pytest.raises(ValueError):
+        MemoryConfig(prefetch_degree=0)
+    with pytest.raises(ValueError):
+        MemoryConfig(l2_hit_latency=-1)
+    with pytest.raises(ValueError):
+        DramConfig(n_banks=3)
+    with pytest.raises(ValueError):
+        DramConfig(latency=-1)
+    with pytest.raises(ValueError):
+        DramConfig(interleave_bytes=0)
+
+
+# ------------------------------------------------------- flat latency
+def test_flat_model_charges_l1_miss_penalty():
+    mem = MemorySystem(machine())
+    assert mem.daccess(0x100, False, 0) == 20  # L1 miss
+    assert mem.daccess(0x100, False, 0) is None  # L1 hit
+    assert mem.iaccess(0x200, 0) == 20
+    assert mem.iaccess(0x200, 0) is None
+
+
+def test_perfect_memory_never_misses():
+    mem = MemorySystem(machine(), perfect=True)
+    for a in range(0, 1 << 14, 64):
+        assert mem.daccess(a, False, 0) is None
+        assert mem.iaccess(a, 0) is None
+    assert mem.l2 is None and mem.dram is None
+
+
+# --------------------------------------------------------- hierarchy
+def test_l2_hit_cheaper_than_dram():
+    cfg = machine(
+        name="t",
+        l2=CacheConfig(size_bytes=64 * 1024, assoc=8, line_bytes=32,
+                       miss_penalty=60),
+        l2_hit_latency=8,
+        dram=DramConfig(latency=60),
+    )
+    mem = MemorySystem(cfg)
+    # cold: L1 miss + L2 miss -> l2_hit_latency + dram latency
+    assert mem.daccess(0x100, False, 0) == 8 + 60
+    # evict 0x100 from the tiny L1 but not from L2
+    mem.l1d.flush()
+    assert mem.daccess(0x100, False, 0) == 8  # L2 hit
+    assert mem.l2.hits == 1 and mem.l2.misses == 1
+
+
+def test_l2_miss_without_dram_uses_l2_miss_penalty():
+    cfg = machine(
+        name="t",
+        l2=CacheConfig(size_bytes=64 * 1024, assoc=8, line_bytes=32,
+                       miss_penalty=42),
+        l2_hit_latency=5,
+    )
+    mem = MemorySystem(cfg)
+    assert mem.daccess(0x100, False, 0) == 5 + 42
+
+
+def test_dram_bank_busy_waits_deterministically():
+    d = Dram(DramConfig(latency=10, n_banks=2, bank_busy=8,
+                        interleave_bytes=64))
+    assert d.access(0x000, cycle=0) == 10   # bank 0 busy until 8
+    assert d.access(0x040, cycle=0) == 10   # bank 1: no conflict
+    assert d.access(0x080, cycle=4) == 4 + 10  # bank 0 again: waits 4
+    assert d.bank_conflicts == 1
+    assert d.wait_cycles == 4
+    assert d.access(0x000, cycle=100) == 10  # long idle: bank free
+    assert d.bank_conflicts == 1
+    assert d.wait_cycles == 4
+
+
+# -------------------------------------------------------- prefetchers
+def test_nextline_prefetcher_predictions():
+    pf = NextLinePrefetcher(degree=2)
+    assert pf.predict(10) == (11, 12)
+
+
+def test_stride_prefetcher_needs_repeated_stride():
+    pf = StridePrefetcher(degree=2)
+    assert pf.predict(10) == ()
+    assert pf.predict(14) == ()        # first stride observed (4)
+    assert pf.predict(18) == (22, 26)  # stride confirmed
+    assert pf.predict(19) == ()        # stride broken (now 1)
+    assert pf.predict(20) == (21, 22)  # new stride (1) confirmed
+
+
+def test_make_prefetcher_factory():
+    assert make_prefetcher("none", 1) is None
+    assert isinstance(make_prefetcher("nextline", 1), NextLinePrefetcher)
+    assert isinstance(make_prefetcher("stride", 1), StridePrefetcher)
+    with pytest.raises(ValueError):
+        make_prefetcher("oracle", 1)
+
+
+def test_prefetch_turns_sequential_misses_into_hits():
+    cfg = machine(
+        name="t",
+        prefetch="nextline",
+        prefetch_degree=1,
+        dram=DramConfig(latency=20),
+    )
+    mem = MemorySystem(cfg)
+    assert mem.daccess(0 * 32, False, 0) == 20  # miss, prefetches line 1
+    assert mem.daccess(1 * 32, False, 1) is None  # prefetched
+    assert mem.prefetch_issued >= 1
+    assert mem.prefetch_useful == 1
+
+
+def test_prefetch_fills_l2_too():
+    cfg = machine(
+        name="t",
+        l2=CacheConfig(size_bytes=64 * 1024, assoc=8, line_bytes=32,
+                       miss_penalty=60),
+        dram=DramConfig(latency=60),
+        prefetch="nextline",
+    )
+    mem = MemorySystem(cfg)
+    mem.daccess(0 * 32, False, 0)  # prefetches line 1 into L1D and L2
+    mem.l1d.flush()
+    assert mem.l2.contains(1 * 32)
+    assert mem.daccess(1 * 32, False, 1) == cfg.memory.l2_hit_latency
+
+
+# ---------------------------------------------------- engine integration
+@pytest.fixture(scope="module")
+def session():
+    return SimulationSession(TINY)
+
+
+def test_paper_preset_bit_identical_to_default(session):
+    default = session.run("CCSI AS", "llhh", 4)
+    via_preset = session.run("CCSI AS", "llhh", 4, memory="paper")
+    assert via_preset is default  # same memo cell: identical by content
+
+
+def test_memory_presets_change_results(session):
+    flat = session.run("SMT", "llll", 2)
+    l2 = session.run("SMT", "llll", 2, memory="l2")
+    assert flat.cycles != l2.cycles
+    assert "l2" in l2.memory["levels"]
+    assert "l2" not in flat.memory["levels"]
+    assert l2.memory["preset"] == "l2"
+    assert l2.memory["dram"]["accesses"] > 0
+
+
+def test_prefetch_preset_reduces_dcache_misses(session):
+    l2 = session.run("SMT", "llll", 2, memory="l2")
+    pf = session.run("SMT", "llll", 2, memory="l2+prefetch")
+    assert pf.memory["prefetch"]["issued"] > 0
+    assert pf.dcache_misses < l2.dcache_misses
+
+
+def test_memory_stats_json_roundtrip(session):
+    s = session.run("SMT", "llll", 2, memory="l2+prefetch")
+    d = s.to_dict()
+    json.dumps(d)  # JSON-safe
+    back = SimStats.from_dict(d)
+    assert back.memory == s.memory
+    assert back.memory["levels"]["l2"]["misses"] >= 0
+
+
+def test_distinct_disk_cache_keys_per_preset(session):
+    params = session.params()
+    members = session.workload_members("llll")
+    keys = set()
+    from repro.engine.cache import cache_key
+
+    for preset in ("paper", "l2", "l2+prefetch"):
+        cfg = session.resolve_cfg(preset)
+        keys.add(cache_key(cfg, params, "SMT", members,
+                           ("f1", "f2", "f3", "f4"), 2))
+    assert len(keys) == 3
+
+
+def test_warm_rerun_per_preset_resimulates_nothing(tmp_path):
+    presets = ("l2", "l2+prefetch")
+    s1 = SimulationSession(TINY, cache_dir=tmp_path / "c")
+    s1.sweep(policies=["SMT"], workloads=["llll"], n_threads=(2,),
+             memory=presets)
+    assert s1.simulations == 2
+
+    s2 = SimulationSession(TINY, cache_dir=tmp_path / "c")
+    out = s2.sweep(policies=["SMT"], workloads=["llll"], n_threads=(2,),
+                   memory=presets)
+    assert s2.simulations == 0
+    assert set(out) == {("SMT", "llll", 2, p) for p in presets}
+    # cached stats come back with their per-level counters intact
+    assert out[("SMT", "llll", 2, "l2")].memory["preset"] == "l2"
+
+
+def test_memory_axis_parallel_matches_serial():
+    serial = SimulationSession(TINY)
+    rs = serial.sweep(policies=["SMT"], workloads=["llll"],
+                      n_threads=(2,), memory=("paper", "l2"))
+    parallel = SimulationSession(TINY, jobs=2)
+    rp = parallel.sweep(policies=["SMT"], workloads=["llll"],
+                        n_threads=(2,), memory=("paper", "l2"))
+    assert set(rs) == set(rp)
+    for k in rs:
+        assert rs[k].cycles == rp[k].cycles, k
+        assert rs[k].operations == rp[k].operations, k
+        assert rs[k].memory == rp[k].memory, k
+
+
+def test_custom_config_does_not_collide_with_preset_memo():
+    """A session whose config carries a custom MemoryConfig sharing a
+    preset's (default) name must not serve that preset's cells from the
+    custom config's memo entries — the memo keys on the full config."""
+    from dataclasses import replace
+
+    from repro.arch.config import PAPER_MACHINE
+
+    custom = replace(
+        PAPER_MACHINE,
+        memory=MemoryConfig(  # name defaults to "paper"
+            l2=CacheConfig(size_bytes=512 * 1024, assoc=8, line_bytes=32,
+                           miss_penalty=60),
+            dram=DramConfig(latency=60, n_banks=8, bank_busy=4),
+        ),
+    )
+    s = SimulationSession(TINY, cfg=custom)
+    hier = s.run("SMT", "llll", 2)
+    flat = s.run("SMT", "llll", 2, memory="paper")
+    assert hier is not flat
+    assert "l2" in hier.memory["levels"]
+    assert "l2" not in flat.memory["levels"]
+    assert flat.cycles != hier.cycles
+
+
+def test_prefetched_line_evicted_before_use_not_counted_useful():
+    # L1D: 1 set x 1 way — any second line evicts the first
+    tiny = CacheConfig(size_bytes=32, assoc=1, line_bytes=32,
+                       miss_penalty=20)
+    cfg = MachineConfig(
+        icache=L1, dcache=tiny,
+        memory=MemoryConfig(name="t", prefetch="nextline",
+                            dram=DramConfig(latency=20)),
+    )
+    mem = MemorySystem(cfg)
+    mem.daccess(0 * 32, False, 0)  # miss; prefetches line 1 (evicts 0)
+    mem.daccess(2 * 32, False, 1)  # miss; evicts prefetched line 1
+    mem.daccess(1 * 32, False, 2)  # miss: the prefetch was wasted
+    mem.daccess(1 * 32, False, 3)  # plain hit on the demand refill
+    assert mem.prefetch_useful == 0
+
+
+def test_session_memory_default(tmp_path):
+    s = SimulationSession(TINY, memory="l2")
+    assert s.cfg.memory.name == "l2"
+    stats = s.run("SMT", "llll", 2)
+    assert stats.memory["preset"] == "l2"
+    # naming the session's own preset reuses the same memo cell
+    assert s.run("SMT", "llll", 2, memory="l2") is stats
+
+
+# ----------------------------------------------------------- reporting
+def test_memory_sensitivity_report(session):
+    from repro.harness.experiment import ExperimentRunner
+    from repro.harness.memreport import (
+        memory_sensitivity,
+        render_memory_levels,
+        render_memory_report,
+    )
+
+    runner = ExperimentRunner(session=session)
+    rows = memory_sensitivity(runner, "SMT", "llll", 2,
+                              presets=["paper", "l2"])
+    assert [r.preset for r in rows] == ["paper", "l2"]
+    text = render_memory_report(rows, "SMT", "llll", 2)
+    assert "paper" in text and "l2" in text and "IPC" in text
+    levels = render_memory_levels(rows[1].stats)
+    assert "l2" in levels and "dram" in levels
