@@ -1,0 +1,223 @@
+#!/usr/bin/env python3
+"""Tracked core-speed benchmark: cycles simulated per second.
+
+Measures the simulator's two run loops — the event-driven fast path
+(`Processor._run_fast`, bulk idle-cycle skipping) and the per-cycle
+reference loop (`Processor._run_reference`) — across a matrix of
+(policy x memory preset x thread count) scenarios, and writes the
+results to ``BENCH_core.json`` at the repository root.  Every scenario
+also cross-checks that both paths produce bit-identical ``SimStats``,
+so the benchmark doubles as an end-to-end equivalence smoke test.
+
+Usage::
+
+    python benchmarks/bench_core.py            # full measurement
+    python benchmarks/bench_core.py --quick    # CI smoke (fewer reps)
+    python benchmarks/bench_core.py --quick \
+        --baseline benchmarks/BENCH_core.baseline.json
+
+With ``--baseline``, per-scenario fast-path throughput is compared
+against the committed baseline (matched by scenario label) and the
+script exits non-zero when any scenario regresses by more than
+``--fail-threshold`` (default 25%).  A missing baseline file is not an
+error — the check is simply skipped, so the gate only arms once a
+baseline has been committed.
+
+This is a standalone script (not a pytest-benchmark suite) so CI can
+run it directly and archive the JSON artifact; see
+``docs/performance.md`` for how to read the numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+try:  # installed (`pip install -e .`) or PYTHONPATH=src
+    import repro  # noqa: F401
+except ImportError:  # plain checkout
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from dataclasses import replace
+
+from repro.arch.config import PAPER_MACHINE, get_memory_config
+from repro.core.policies import get_policy
+from repro.kernels.suite import get_trace
+from repro.pipeline.processor import Processor, SimParams
+
+#: (label, policy, memory preset, n_threads, workload benchmarks).
+#: ``membound-smt-1t`` is the headline memory-bound scenario: a single
+#: pointer-chasing thread on slow banked DRAM spends ~90% of its cycles
+#: stalled, which is exactly the span the fast-forward core skips.
+SCENARIOS = [
+    ("paper-ccsi-4t", "CCSI AS", "paper", 4,
+     ("mcf", "idct", "gsmencode", "colorspace")),
+    ("paper-smt-4t", "SMT", "paper", 4,
+     ("mcf", "idct", "gsmencode", "colorspace")),
+    ("paper-oosi-4t", "OOSI AS", "paper", 4,
+     ("mcf", "idct", "gsmencode", "colorspace")),
+    ("paper-smt-2t", "SMT", "paper", 2, ("mcf", "bzip2")),
+    ("membound-smt-1t", "SMT", "slow-dram", 1, ("mcf",)),
+    ("membound-ccsi-2t", "CCSI AS", "slow-dram", 2, ("mcf", "bzip2")),
+    ("l2pf-ccsi-4t", "CCSI AS", "l2+prefetch", 4,
+     ("mcf", "idct", "gsmencode", "colorspace")),
+]
+
+KERNEL_SCALE = 1.0
+
+
+def _params(quick: bool) -> SimParams:
+    return SimParams(
+        target_instructions=2_000 if quick else 6_000,
+        timeslice=1_000 if quick else 3_000,
+        seed=12345,
+    )
+
+
+def _time_run(proc: Processor):
+    t0 = time.perf_counter()
+    stats = proc.run()
+    return time.perf_counter() - t0, stats
+
+
+def measure_scenario(label, policy_name, memory, n_threads, workload,
+                     quick: bool, reps: int) -> dict:
+    """Best-of-``reps`` wall time for both run loops on one scenario."""
+    cfg = replace(PAPER_MACHINE, memory=get_memory_config(memory))
+    policy = get_policy(policy_name)
+    bundles = [get_trace(name, KERNEL_SCALE, cfg) for name in workload]
+    params = _params(quick)
+
+    # untimed warm-up: populates the bundles' lazy per-rotation table
+    # caches so the timed repetitions measure the simulator, not
+    # one-off table construction
+    Processor(policy, bundles, n_threads, cfg, params).run()
+
+    best = {}
+    stats = {}
+    for force_reference in (False, True):
+        times = []
+        for _ in range(reps):
+            proc = Processor(
+                policy, bundles, n_threads, cfg, params,
+                force_reference=force_reference,
+            )
+            elapsed, s = _time_run(proc)
+            times.append(elapsed)
+        best[force_reference] = min(times)
+        stats[force_reference] = s
+
+    fast, ref = stats[False], stats[True]
+    identical = fast.to_dict() == ref.to_dict()
+    if not identical:
+        print(f"!! {label}: fast and reference paths DIVERGED",
+              file=sys.stderr)
+    fast_s, ref_s = best[False], best[True]
+    return {
+        "label": label,
+        "policy": policy_name,
+        "memory": memory,
+        "n_threads": n_threads,
+        "workload": list(workload),
+        "cycles": fast.cycles,
+        "instructions": fast.instructions,
+        "vertical_waste_frac": round(fast.vertical_waste_frac, 4),
+        "fast_seconds": round(fast_s, 6),
+        "ref_seconds": round(ref_s, 6),
+        "fast_cps": round(fast.cycles / fast_s, 1),
+        "ref_cps": round(ref.cycles / ref_s, 1),
+        "speedup": round(ref_s / fast_s, 3),
+        "identical": identical,
+    }
+
+
+def check_baseline(scenarios: list[dict], baseline_path: Path,
+                   threshold: float) -> int:
+    """Exit code 0/1: fast-path throughput vs the committed baseline."""
+    if not baseline_path.exists():
+        print(f"no baseline at {baseline_path}; regression gate skipped")
+        return 0
+    with open(baseline_path) as f:
+        baseline = {
+            s["label"]: s for s in json.load(f).get("scenarios", [])
+        }
+    failures = []
+    for s in scenarios:
+        base = baseline.get(s["label"])
+        if base is None:
+            continue
+        floor = base["fast_cps"] * (1.0 - threshold)
+        verdict = "ok" if s["fast_cps"] >= floor else "REGRESSED"
+        print(f"{s['label']:18s} {s['fast_cps']:12.0f} cps "
+              f"(baseline {base['fast_cps']:.0f}, floor {floor:.0f}) "
+              f"{verdict}")
+        if s["fast_cps"] < floor:
+            failures.append(s["label"])
+    if failures:
+        print(f"regression (> {threshold:.0%} below baseline) in: "
+              f"{', '.join(failures)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="smaller runs, fewer repetitions (CI smoke)")
+    ap.add_argument("--reps", type=int, default=None, metavar="N",
+                    help="timing repetitions per path (best-of-N); "
+                         "default 3 quick / 5 full")
+    ap.add_argument("--output", default=str(REPO_ROOT / "BENCH_core.json"),
+                    metavar="PATH", help="where to write the JSON report")
+    ap.add_argument("--baseline", default=None, metavar="PATH",
+                    help="committed BENCH_core.json to gate against "
+                         "(missing file: gate skipped)")
+    ap.add_argument("--fail-threshold", type=float, default=0.25,
+                    metavar="FRAC",
+                    help="max allowed fractional cps regression vs the "
+                         "baseline (default 0.25)")
+    args = ap.parse_args(argv)
+    reps = args.reps if args.reps is not None else (3 if args.quick else 5)
+
+    results = []
+    for label, policy, memory, nt, workload in SCENARIOS:
+        r = measure_scenario(label, policy, memory, nt, workload,
+                             args.quick, reps)
+        results.append(r)
+        print(f"{label:18s} {r['policy']:8s} {r['memory']:11s} "
+              f"nt={nt} cycles={r['cycles']:7d} "
+              f"fast={r['fast_cps']:12.0f} cps "
+              f"speedup={r['speedup']:5.2f}x "
+              f"{'' if r['identical'] else ' !! MISMATCH'}")
+
+    report = {
+        "schema": 1,
+        "quick": args.quick,
+        "reps": reps,
+        "kernel_scale": KERNEL_SCALE,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "scenarios": results,
+    }
+    out = Path(args.output)
+    with open(out, "w") as f:
+        json.dump(report, f, indent=1)
+        f.write("\n")
+    print(f"wrote {out}")
+
+    if not all(r["identical"] for r in results):
+        return 2
+    if args.baseline:
+        return check_baseline(results, Path(args.baseline),
+                              args.fail_threshold)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,6 +10,9 @@ Commands
 ``waste``    — vertical/horizontal waste decomposition per policy
 ``mem``      — memory-sensitivity report across hierarchy presets
 ``report``   — run the full matrix and (re)write EXPERIMENTS.md
+``profile``  — cProfile one quick simulation, print the hottest
+functions (simulator-core time only: traces are built before the
+profiler starts)
 
 ``run`` and ``sweep`` take ``--memory <preset>`` (presets from
 ``repro.arch.config.MEMORY_PRESETS``: the paper's flat model, shared
@@ -183,6 +186,55 @@ def cmd_waste(args) -> int:
     return 0
 
 
+def cmd_profile(args) -> int:
+    """Profile the simulation core on one quick scenario.
+
+    Always uses the quick experiment scale (profiling is about where
+    time goes, not statistical weight), builds the traces *before*
+    enabling the profiler, and never touches the result cache — the
+    whole point is to run the simulator for real.
+    """
+    import cProfile
+    import pstats
+    from dataclasses import replace as _replace
+
+    from .arch.config import PAPER_MACHINE, get_memory_config
+    from .core.policies import get_policy
+    from .engine import QUICK_SCALE
+    from .kernels.suite import get_trace
+    from .pipeline.processor import Processor, SimParams
+
+    scale = QUICK_SCALE
+    cfg = _replace(PAPER_MACHINE, memory=get_memory_config(args.memory))
+    bundles = [
+        get_trace(name, scale.kernel_scale, cfg)
+        for name in WORKLOADS[args.workload]
+    ]
+    params = SimParams(
+        target_instructions=scale.target_instructions,
+        timeslice=scale.timeslice,
+        max_cycles=scale.max_cycles,
+        seed=scale.seed,
+    )
+    proc = Processor(
+        get_policy(args.policy), bundles, args.threads, cfg, params,
+        force_reference=args.reference,
+    )
+    prof = cProfile.Profile()
+    prof.enable()
+    stats = proc.run()
+    prof.disable()
+    path = "reference (per-cycle)" if args.reference else "fast-forward"
+    print(f"# {args.policy} / {args.workload} / {args.threads}T / "
+          f"{args.memory} — {path} loop")
+    print(f"# {stats.cycles} cycles, {stats.instructions} instructions, "
+          f"IPC {stats.ipc:.2f}")
+    ps = pstats.Stats(prof)
+    ps.sort_stats(args.sort)
+    ps.print_stats(args.top)
+    return 0
+
+
 def cmd_report(args) -> int:
     from .harness.report import render_report
 
@@ -293,6 +345,27 @@ def build_parser() -> argparse.ArgumentParser:
     p = add_parser("report", help="write EXPERIMENTS.md")
     p.add_argument("--output", default="EXPERIMENTS.md")
     p.set_defaults(func=cmd_report)
+
+    p = add_parser(
+        "profile",
+        help="cProfile one quick simulation, print hottest functions",
+    )
+    p.add_argument("--policy", default="CCSI AS")
+    p.add_argument("--workload", default="llhh", choices=list(WORKLOADS))
+    p.add_argument("--threads", type=int, default=4, choices=(1, 2, 4))
+    p.add_argument("--memory", default="paper",
+                   choices=sorted(MEMORY_PRESETS), metavar="PRESET",
+                   help="memory-hierarchy preset "
+                        f"({', '.join(sorted(MEMORY_PRESETS))})")
+    p.add_argument("--top", type=int, default=15, metavar="N",
+                   help="number of functions to print (default: 15)")
+    p.add_argument("--sort", default="cumulative",
+                   choices=("cumulative", "tottime", "ncalls"),
+                   help="pstats sort key (default: cumulative)")
+    p.add_argument("--reference", action="store_true",
+                   help="profile the per-cycle reference loop instead "
+                        "of the fast-forward path")
+    p.set_defaults(func=cmd_profile)
 
     return ap
 

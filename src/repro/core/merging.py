@@ -51,29 +51,54 @@ class MergeEngine:
         "alu_free",
         "mul_free",
         "mem_free",
+        "_op_level",
+        "_track_scalars",
+        "_init_slot",
+        "_init_alu",
+        "_init_mul",
+        "_init_mem",
     )
 
-    def __init__(self, cfg: MachineConfig, merge: str):
+    def __init__(self, cfg: MachineConfig, merge: str, op_split: bool = True):
+        """``op_split=False`` declares that :meth:`try_ops` will never
+        be called on this engine (the policy does not split at the
+        operation level), letting every cycle skip the scalar-counter
+        bookkeeping that exists only to feed the op-level greedy fill."""
         if merge not in ("op", "cluster"):
             raise ValueError(f"merge must be 'op' or 'cluster', got {merge}")
         self.cfg = cfg
         self.merge = merge
+        self._op_level = merge == "op"
+        self._track_scalars = self._op_level and op_split
         self.capacity = capacity_packed(cfg)
         self.guards = guards_mask(cfg.n_clusters)
         self.n_clusters = cfg.n_clusters
+        cl = cfg.cluster
+        n = cfg.n_clusters
+        # immutable per-cycle reset images for the scalar counters
+        self._init_slot = [cl.issue_width] * n
+        self._init_alu = [cl.n_alu] * n
+        self._init_mul = [cl.n_mul] * n
+        self._init_mem = [cl.n_mem] * n
+        # per-cluster counters for the op-level greedy fill; allocated
+        # once and refilled in place every cycle
+        self.slot_free = list(self._init_slot)
+        self.alu_free = list(self._init_alu)
+        self.mul_free = list(self._init_mul)
+        self.mem_free = list(self._init_mem)
         self.begin_cycle()
 
     def begin_cycle(self) -> None:
         self.remaining = self.capacity
         self.used_mask = 0
         self.mem_used_mask = 0
-        cl = self.cfg.cluster
-        n = self.n_clusters
-        # per-cluster counters for the op-level greedy fill
-        self.slot_free = [cl.issue_width] * n
-        self.alu_free = [cl.n_alu] * n
-        self.mul_free = [cl.n_mul] * n
-        self.mem_free = [cl.n_mem] * n
+        if self._track_scalars:
+            # refill the preallocated counters in place (slice copy)
+            # instead of building four new lists per simulated cycle
+            self.slot_free[:] = self._init_slot
+            self.alu_free[:] = self._init_alu
+            self.mul_free[:] = self._init_mul
+            self.mem_free[:] = self._init_mem
 
     # ------------------------------------------------------------------
     def _fits_op_level(self, packed: int) -> bool:
@@ -82,10 +107,20 @@ class MergeEngine:
         )
 
     def _take_packed(self, packed: int, cmask: int, mem_cmask: int) -> None:
-        self.remaining -= packed
         self.used_mask |= cmask
         self.mem_used_mask |= mem_cmask
-        # keep the scalar counters coherent for mixed use
+        if not self._op_level:
+            # cluster-level merging never consults ``remaining`` or the
+            # scalar counters (conflicts are single mask tests, and
+            # try_ops is unreachable: Policy forbids op-split with
+            # cluster merging) — skip the coherence bookkeeping
+            return
+        self.remaining -= packed
+        if not self._track_scalars:
+            # no op-level split on this engine: nothing ever reads the
+            # scalar counters, so skip the coherence loop
+            return
+        # keep the scalar counters coherent for the op-level greedy fill
         for c in range(self.n_clusters):
             lane = (packed >> (16 * c)) & 0xFFFF
             if lane:
@@ -133,26 +168,42 @@ class MergeEngine:
             pend.issue_all()
             return pending, ops
 
+        b_nops = st.bundle_nops[i]
+        if not self._op_level:
+            # cluster-level merging: the whole per-cluster scan reduces
+            # to one mask op — a pending bundle issues iff its cluster
+            # is still unused (paper Fig. 7b's single free-bit test)
+            avail = pending & ~self.used_mask
+            if not avail:
+                return 0, 0
+            ops = 0
+            m = avail
+            c = 0
+            while m:
+                if m & 1:
+                    ops += b_nops[c]
+                m >>= 1
+                c += 1
+            self.used_mask |= avail
+            self.mem_used_mask |= st.mem_cmask[i] & avail
+            pend.issue_clusters(avail, ops)
+            return avail, ops
+
         issued_mask = 0
         ops = 0
         b_packed = st.bundle_packed[i]
-        b_nops = st.bundle_nops[i]
         for c in range(self.n_clusters):
             if not (pending >> c) & 1:
                 continue
-            if self.merge == "cluster":
-                if (self.used_mask >> c) & 1:
-                    continue
-            else:
-                if not self._fits_op_level(b_packed[c]):
-                    continue
+            if not self._fits_op_level(b_packed[c]):
+                continue
             self._take_packed(
                 b_packed[c], 1 << c, st.mem_cmask[i] & (1 << c)
             )
             issued_mask |= 1 << c
             ops += b_nops[c]
         if issued_mask:
-            pend.issue_clusters(issued_mask)
+            pend.issue_clusters(issued_mask, ops)
         return issued_mask, ops
 
     def try_ops(self, pend: PendingInstruction) -> tuple[int, int, int]:
@@ -161,6 +212,11 @@ class MergeEngine:
         Returns ``(ops_issued, issued_cluster_mask, issued_mem_mask)``;
         updates ``pend``.
         """
+        if not self._track_scalars:
+            raise RuntimeError(
+                "try_ops needs an engine built with op_split=True "
+                "(scalar counters are not being tracked)"
+            )
         st, i = pend.table, pend.static_index
         if pend.atomic:
             if not self._fits_op_level(st.packed[i]):

@@ -10,20 +10,26 @@ from __future__ import annotations
 
 
 class RoundRobinPriority:
-    """Cycle ``t``: order = [t % n, (t % n)+1, ..., wrapping]."""
+    """Cycle ``t``: order = [t % n, (t % n)+1, ..., wrapping].
+
+    ``orders`` is the full precomputed rotation table; cycle ``t`` uses
+    ``orders[t % len(orders)]``.  The fast simulation loop indexes it
+    directly (no method call per cycle); :meth:`order` remains for
+    everything off the hot path.
+    """
 
     name = "round-robin"
 
     def __init__(self, n_threads: int):
         self.n = n_threads
         # precompute all rotations; the per-cycle cost is one indexing
-        self._orders = [
+        self.orders = tuple(
             tuple((r + k) % n_threads for k in range(n_threads))
             for r in range(n_threads)
-        ]
+        )
 
     def order(self, cycle: int) -> tuple[int, ...]:
-        return self._orders[cycle % self.n]
+        return self.orders[cycle % self.n]
 
 
 class FixedPriority:
@@ -32,10 +38,10 @@ class FixedPriority:
     name = "fixed"
 
     def __init__(self, n_threads: int):
-        self._order = tuple(range(n_threads))
+        self.orders = (tuple(range(n_threads)),)
 
     def order(self, cycle: int) -> tuple[int, ...]:
-        return self._order
+        return self.orders[0]
 
 
 def make_priority(kind: str, n_threads: int):

@@ -67,19 +67,21 @@ class PendingInstruction:
         self.ops_remaining = 0
         self.issued_any = True
 
-    def issue_clusters(self, mask: int) -> None:
-        """Cluster-level split: bundles in ``mask`` issued this cycle."""
-        i = self.static_index
-        nops = self.table.bundle_nops[i]
-        n = 0
-        c = 0
-        m = mask
-        while m:
-            if m & 1:
-                n += nops[c]
-            m >>= 1
-            c += 1
-        self.ops_remaining -= n
+    def issue_clusters(self, mask: int, n_ops: int | None = None) -> None:
+        """Cluster-level split: bundles in ``mask`` issued this cycle.
+        ``n_ops`` is their op count when the caller already summed it
+        (the merge engine does); recomputed from the table otherwise."""
+        if n_ops is None:
+            nops = self.table.bundle_nops[self.static_index]
+            n_ops = 0
+            c = 0
+            m = mask
+            while m:
+                if m & 1:
+                    n_ops += nops[c]
+                m >>= 1
+                c += 1
+        self.ops_remaining -= n_ops
         self.pending_mask &= ~mask
         self.issued_any = True
         if self.pending_mask:

@@ -18,19 +18,21 @@ from concurrent.futures import ProcessPoolExecutor
 from ..pipeline.stats import SimStats
 
 #: One worker task: everything needed to reproduce a cell from scratch.
-#: (policy_name, member_names, n_threads, scale, cfg) — the cfg already
-#: carries the cell's memory-scenario preset.
+#: (policy_name, member_names, n_threads, scale, cfg, reference) — the
+#: cfg already carries the cell's memory-scenario preset; ``reference``
+#: forwards the session's run-loop choice (results are bit-identical
+#: either way, but a reference session must honour its contract).
 _CellPayload = tuple
 
 
 def _simulate_cell(payload: _CellPayload) -> dict:
     """Pool worker: run one matrix cell, return serialized stats."""
-    policy_name, members, n_threads, scale, cfg = payload
+    policy_name, members, n_threads, scale, cfg, reference = payload
     # Import here so fork-less start methods (spawn) stay cheap until
     # a task actually runs.
     from .session import SimulationSession
 
-    session = SimulationSession(scale=scale, cfg=cfg)
+    session = SimulationSession(scale=scale, cfg=cfg, reference=reference)
     stats = session.run(policy_name, members, n_threads)
     return stats.to_dict()
 
@@ -79,6 +81,7 @@ def run_matrix(
                 spec[2],
                 session.scale,
                 session.resolve_cfg(spec[3] if len(spec) > 3 else None),
+                session.reference,
             )
             for spec in pending
         ]

@@ -79,6 +79,7 @@ class SimulationSession:
         jobs: int = 1,
         hooks=None,
         memory: str | None = None,
+        reference: bool = False,
     ):
         if memory is not None:
             cfg = replace(cfg, memory=get_memory_config(memory))
@@ -86,6 +87,10 @@ class SimulationSession:
         self.cfg = cfg
         self.jobs = max(1, jobs)
         self.hooks = tuple(hooks) if hooks else ()
+        #: force the per-cycle reference simulation loop instead of the
+        #: event-driven fast path (``docs/performance.md``).  Results
+        #: are bit-identical, so cached entries are shared either way.
+        self.reference = reference
         self.cache = ResultCache(cache_dir) if cache_dir else None
         self._memo: dict[tuple, SimStats] = {}
         #: per-preset machine configs derived from ``cfg`` (the memory
@@ -196,6 +201,7 @@ class SimulationSession:
                 cfg,
                 self.params(),
                 hooks=self.hooks,
+                force_reference=self.reference,
             )
             stats = proc.run()
             self.simulations += 1
@@ -295,7 +301,8 @@ class SimulationSession:
             from ..core.policies import SMT
 
             proc = Processor(
-                SMT, [bundle], 1, self.cfg, params, hooks=self.hooks
+                SMT, [bundle], 1, self.cfg, params, hooks=self.hooks,
+                force_reference=self.reference,
             )
             stats = proc.run()
             self.simulations += 1

@@ -5,6 +5,14 @@ instruction is 1..16 RISC operations, §VI-A).  Vertical waste counts
 cycles in which no operation issued; horizontal waste counts unused
 issue slots in cycles where at least one operation issued (the standard
 Tullsen-style decomposition the paper's introduction uses).
+
+Counters are plain integers with no per-cycle semantics attached: the
+simulator may fold a whole idle span into ``vertical_waste`` in one
+addition (the fast-forward path) or accumulate events in locals and
+flush them once per ``run()`` — only the final totals are defined, and
+they are bit-identical whichever run loop produced them (that identity
+is what lets both loops share disk-cache entries; see
+``docs/performance.md``).
 """
 
 from __future__ import annotations

@@ -1,0 +1,176 @@
+"""Bit-identity of the event-driven fast-forward run loop.
+
+``Processor.run`` dispatches to ``_run_fast`` (bulk idle-cycle
+skipping, inlined hot path) unless hooks are installed; the per-cycle
+``_run_reference`` loop is the semantic definition of the simulator.
+Every test here asserts the two produce *identical* ``SimStats``
+(compared through ``to_dict()``, i.e. every counter the disk cache
+hashes), across policies, memory presets, thread counts, and the
+scheduler/limit corner cases the skip logic must respect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.arch.config import (
+    MEMORY_PRESETS,
+    PAPER_MACHINE,
+    get_memory_config,
+)
+from repro.core.policies import ALL_POLICIES, BY_NAME
+from repro.engine import CycleRecorder, QUICK_SCALE, SimulationSession
+from repro.pipeline.processor import Processor, SimParams
+
+
+def run_pair(policy, traces, n_threads, cfg, params, **run_kw):
+    """Run the same cell through both loops; returns (fast, ref)."""
+    fast_proc = Processor(policy, traces, n_threads, cfg, params)
+    ref_proc = Processor(
+        policy, traces, n_threads, cfg, params, force_reference=True
+    )
+    return (
+        fast_proc.run(**run_kw),
+        ref_proc.run(**run_kw),
+        fast_proc,
+    )
+
+
+def preset_cfg(preset: str):
+    return replace(PAPER_MACHINE, memory=get_memory_config(preset))
+
+
+# ---------------------------------------------------------------- matrix
+@pytest.mark.parametrize("preset", sorted(MEMORY_PRESETS))
+@pytest.mark.parametrize(
+    "policy", [p.name for p in ALL_POLICIES], ids=lambda p: p.replace(" ", "-")
+)
+def test_bit_identity_policy_preset_matrix(tiny_traces, policy, preset):
+    """Every policy x memory preset x thread count: identical stats."""
+    cfg = preset_cfg(preset)
+    for nt in (1, 2, 4):
+        params = SimParams(
+            target_instructions=1_500, timeslice=400, seed=11
+        )
+        fast, ref, _ = run_pair(
+            BY_NAME[policy], tiny_traces, nt, cfg, params
+        )
+        assert fast.to_dict() == ref.to_dict(), (policy, preset, nt)
+
+
+@pytest.mark.parametrize("preset", sorted(MEMORY_PRESETS))
+def test_bit_identity_real_kernels(preset):
+    """Spot-check with real compiled kernels (multi-bench workload,
+    context switches, both merge levels) on every memory preset."""
+    from repro.kernels.suite import get_trace
+
+    traces = [get_trace("mcf", 0.05), get_trace("idct", 0.05)]
+    cfg = preset_cfg(preset)
+    params = SimParams(target_instructions=2_000, timeslice=500, seed=7)
+    for policy in ("CCSI AS", "OOSI NS"):
+        fast, ref, _ = run_pair(
+            BY_NAME[policy], traces, 2, cfg, params
+        )
+        assert fast.to_dict() == ref.to_dict(), (policy, preset)
+
+
+# ------------------------------------------------------------ skip logic
+def test_fast_forward_engages_on_memory_stalls(tiny_traces):
+    """The skip path must actually fire on a stall-heavy scenario —
+    otherwise the identity tests above prove nothing about it."""
+    cfg = preset_cfg("slow-dram")
+    params = SimParams(target_instructions=2_000, timeslice=0, seed=3)
+    proc = Processor(BY_NAME["SMT"], tiny_traces[:1], 1, cfg, params)
+    stats = proc.run()
+    assert proc.ff_skipped_cycles > 0
+    assert stats.vertical_waste >= proc.ff_skipped_cycles
+
+
+def test_timeslice_boundary_crossed_mid_skip(tiny_traces):
+    """A timeslice much shorter than a DRAM stall forces skips that
+    land across ``next_switch`` boundaries; the context-switch RNG must
+    still advance at exactly the reference cycles."""
+    cfg = preset_cfg("slow-dram")
+    params = SimParams(target_instructions=4_000, timeslice=50, seed=5)
+    fast, ref, proc = run_pair(
+        BY_NAME["CCSI AS"], tiny_traces, 2, cfg, params
+    )
+    assert proc.ff_skipped_cycles > 0
+    assert fast.context_switches > 0
+    assert fast.to_dict() == ref.to_dict()
+
+
+def test_max_cycles_boundary_lands_mid_stall(tiny_traces):
+    """``max_cycles`` limits that expire inside a skipped span must
+    clamp the bulk waste accounting to the exact same cycle count."""
+    cfg = preset_cfg("slow-dram")
+    params = SimParams(target_instructions=10**9, timeslice=0, seed=2)
+    for limit in (37, 61, 100, 1_000):
+        fast, ref, _ = run_pair(
+            BY_NAME["SMT"], tiny_traces[:1], 1, cfg, params,
+            max_cycles=limit, stop_on_target=False,
+        )
+        assert fast.to_dict() == ref.to_dict(), limit
+
+
+def test_resumed_runs_stay_identical(tiny_traces):
+    """Consecutive ``run()`` calls on one processor (cycle counter
+    resumes, scheduler state re-derives) match the reference loop."""
+    params = SimParams(target_instructions=10**9, timeslice=250, seed=4)
+    fast_proc = Processor(
+        BY_NAME["COSI AS"], tiny_traces, 2, PAPER_MACHINE, params
+    )
+    ref_proc = Processor(
+        BY_NAME["COSI AS"], tiny_traces, 2, PAPER_MACHINE, params,
+        force_reference=True,
+    )
+    for limit in (300, 400):
+        fast = fast_proc.run(max_cycles=limit, stop_on_target=False)
+        ref = ref_proc.run(max_cycles=limit, stop_on_target=False)
+        assert fast.to_dict() == ref.to_dict(), limit
+
+
+# -------------------------------------------------------- hook fallback
+def test_hooks_fall_back_to_reference_loop(tiny_traces):
+    """A hooked run must fire ``on_cycle`` for *every* issue cycle
+    (the fast path cannot guarantee that, so it must not be taken) and
+    still produce the same stats as the hook-less fast path."""
+    rec = CycleRecorder(limit=10**9)
+    params = SimParams(target_instructions=1_200, timeslice=300, seed=3)
+    hooked = Processor(
+        BY_NAME["SMT"], tiny_traces, 2, PAPER_MACHINE, params,
+        hooks=[rec],
+    )
+    s = hooked.run()
+    # one on_cycle event per issue iteration: total cycles = issue
+    # iterations + buffered-store stall cycles
+    assert len(rec.samples) == s.cycles - s.stall_cycles
+    assert hooked.ff_skipped_cycles == 0
+
+    fast = Processor(
+        BY_NAME["SMT"], tiny_traces, 2, PAPER_MACHINE, params
+    ).run()
+    assert fast.to_dict() == s.to_dict()
+
+
+def test_force_reference_flag(tiny_traces):
+    params = SimParams(target_instructions=800, timeslice=200, seed=9)
+    proc = Processor(
+        BY_NAME["SMT"], tiny_traces, 2, PAPER_MACHINE, params,
+        force_reference=True,
+    )
+    proc.run()
+    assert proc.ff_skipped_cycles == 0
+
+
+# ------------------------------------------------------ engine plumbing
+def test_session_reference_flag_matches_fast_path(tmp_path):
+    """`SimulationSession(reference=True)` runs the reference loop and
+    lands bit-identical stats in the same cache keys."""
+    fast = SimulationSession(QUICK_SCALE).run("CCSI AS", ("mcf",), 1)
+    ref = SimulationSession(QUICK_SCALE, reference=True).run(
+        "CCSI AS", ("mcf",), 1
+    )
+    assert fast.to_dict() == ref.to_dict()

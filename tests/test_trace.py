@@ -69,7 +69,7 @@ def test_rotation_preserves_totals(r):
     for i in range(len(st0.nops)):
         assert st0.nops[i] == str_.nops[i]
         assert sorted(st0.bundle_nops[i]) == sorted(str_.bundle_nops[i])
-        assert bin(st0.cmask[i]).count("1") == bin(str_.cmask[i]).count("1")
+        assert st0.cmask[i].bit_count() == str_.cmask[i].bit_count()
         assert sorted(unpack_usage(st0.packed[i], 4)) == sorted(
             unpack_usage(str_.packed[i], 4)
         )
