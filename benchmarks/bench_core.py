@@ -19,9 +19,11 @@ Usage::
 With ``--baseline``, per-scenario fast-path throughput is compared
 against the committed baseline (matched by scenario label) and the
 script exits non-zero when any scenario regresses by more than
-``--fail-threshold`` (default 25%).  A missing baseline file is not an
-error — the check is simply skipped, so the gate only arms once a
-baseline has been committed.
+``--fail-threshold`` (default 25%).  A missing baseline file skips the
+check by default (so the gate arms itself once a baseline is
+committed); with ``--require-baseline`` a missing file is a hard error
+— CI uses that, so the gate can never be silently disarmed by the
+baseline going missing.
 
 This is a standalone script (not a pytest-benchmark suite) so CI can
 run it directly and archive the JSON artifact; see
@@ -67,6 +69,7 @@ SCENARIOS = [
     ("membound-ccsi-2t", "CCSI AS", "slow-dram", 2, ("mcf", "bzip2")),
     ("l2pf-ccsi-4t", "CCSI AS", "l2+prefetch", 4,
      ("mcf", "idct", "gsmencode", "colorspace")),
+    ("mshr-ccsi-2t", "CCSI AS", "mshr", 2, ("mcf", "bzip2")),
 ]
 
 KERNEL_SCALE = 1.0
@@ -138,9 +141,16 @@ def measure_scenario(label, policy_name, memory, n_threads, workload,
 
 
 def check_baseline(scenarios: list[dict], baseline_path: Path,
-                   threshold: float) -> int:
+                   threshold: float, require: bool = False) -> int:
     """Exit code 0/1: fast-path throughput vs the committed baseline."""
     if not baseline_path.exists():
+        if require:
+            print(f"FATAL: baseline {baseline_path} is missing but "
+                  f"--require-baseline was given — the perf-regression "
+                  f"gate would be silently disarmed; regenerate it with "
+                  f"`python benchmarks/bench_core.py --quick --output "
+                  f"{baseline_path}`", file=sys.stderr)
+            return 1
         print(f"no baseline at {baseline_path}; regression gate skipped")
         return 0
     with open(baseline_path) as f:
@@ -177,7 +187,11 @@ def main(argv=None) -> int:
                     metavar="PATH", help="where to write the JSON report")
     ap.add_argument("--baseline", default=None, metavar="PATH",
                     help="committed BENCH_core.json to gate against "
-                         "(missing file: gate skipped)")
+                         "(missing file: gate skipped unless "
+                         "--require-baseline)")
+    ap.add_argument("--require-baseline", action="store_true",
+                    help="fail (exit 1) when the --baseline file is "
+                         "missing instead of skipping the gate")
     ap.add_argument("--fail-threshold", type=float, default=0.25,
                     metavar="FRAC",
                     help="max allowed fractional cps regression vs the "
@@ -215,7 +229,8 @@ def main(argv=None) -> int:
         return 2
     if args.baseline:
         return check_baseline(results, Path(args.baseline),
-                              args.fail_threshold)
+                              args.fail_threshold,
+                              require=args.require_baseline)
     return 0
 
 

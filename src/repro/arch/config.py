@@ -90,7 +90,8 @@ PREFETCH_KINDS = ("none", "nextline", "stride")
 @dataclass(frozen=True)
 class MemoryConfig:
     """Everything below the private L1s: optional shared L2, optional
-    data prefetcher, optional banked DRAM.
+    data prefetcher, optional banked DRAM, optional MSHRs and writeback
+    traffic.
 
     The all-defaults configuration is the paper's flat §VI-A model: no
     L2, no prefetch, no DRAM timing — an L1 miss costs exactly that
@@ -99,6 +100,20 @@ class MemoryConfig:
     an L2 miss additionally pays DRAM (or ``l2.miss_penalty`` when
     ``dram`` is ``None``).  With ``dram`` set and no L2, every L1 miss
     goes straight to DRAM.
+
+    ``mshr`` gives each L1 a miss-status-holding-register file of that
+    many entries, making the caches non-blocking: the misses of one
+    VLIW instruction overlap (the thread stalls for the slowest, not
+    the sum), a second access to a line whose fill is still in flight
+    merges into the existing MSHR and pays only the residual latency,
+    and a miss arriving with every MSHR occupied waits for the earliest
+    entry to retire.  ``mshr=0`` is the paper's blocking cache.
+
+    ``writeback_penalty`` makes dirty-eviction *traffic* cost time: an
+    L1D demand miss that evicts a dirty line pays this many extra
+    cycles (victim-buffer drain) and the victim occupies the level
+    below — installed dirty into L2, or holding its DRAM bank busy.
+    ``0`` keeps writebacks free (the paper's flat model).
     """
 
     name: str = "paper"
@@ -107,6 +122,11 @@ class MemoryConfig:
     prefetch: str = "none"
     prefetch_degree: int = 1
     dram: DramConfig | None = None
+    #: MSHR entries per L1 cache (0 = blocking caches, the paper model)
+    mshr: int = 0
+    #: extra cycles an L1D demand miss pays when it evicts a dirty line
+    #: (0 = writeback traffic is free, the paper model)
+    writeback_penalty: int = 0
 
     def __post_init__(self) -> None:
         if self.prefetch not in PREFETCH_KINDS:
@@ -118,12 +138,20 @@ class MemoryConfig:
             raise ValueError("prefetch_degree must be >= 1")
         if self.l2_hit_latency < 0:
             raise ValueError("l2_hit_latency must be non-negative")
+        if self.mshr < 0:
+            raise ValueError("mshr must be non-negative")
+        if self.writeback_penalty < 0:
+            raise ValueError("writeback_penalty must be non-negative")
 
     @property
     def is_flat(self) -> bool:
         """True for the paper's single-level fixed-penalty model."""
         return (
-            self.l2 is None and self.dram is None and self.prefetch == "none"
+            self.l2 is None
+            and self.dram is None
+            and self.prefetch == "none"
+            and self.mshr == 0
+            and self.writeback_penalty == 0
         )
 
 
@@ -154,6 +182,19 @@ MEMORY_PRESETS: dict[str, MemoryConfig] = {
         dram=_DRAM,
         prefetch="stride",
         prefetch_degree=2,
+    ),
+    "mshr": MemoryConfig(
+        name="mshr",
+        dram=DramConfig(latency=60, n_banks=4, bank_busy=8),
+        mshr=4,
+        writeback_penalty=4,
+    ),
+    "l2+mshr": MemoryConfig(
+        name="l2+mshr",
+        l2=_L2,
+        dram=_DRAM,
+        mshr=8,
+        writeback_penalty=4,
     ),
 }
 

@@ -5,7 +5,9 @@ Commands
 --------
 ``run``      — one simulation cell (policy x workload x threads)
 ``sweep``    — the policy x workload x threads matrix, parallel + cached
-``fig``      — regenerate a paper figure (13, 14, 15 or 16)
+``fig``      — regenerate a paper figure (13, 14, 15 or 16), or the
+memory-sensitivity figure (``fig mem``: average IPC per policy x
+memory preset)
 ``claims``   — evaluate the §VI-B headline claims
 ``waste``    — vertical/horizontal waste decomposition per policy
 ``mem``      — memory-sensitivity report across hierarchy presets
@@ -145,25 +147,39 @@ _FIG_POLICIES = {
 
 def cmd_fig(args) -> int:
     r = _runner(args)
-    if args.number in _FIG_POLICIES:
-        _prewarm(r, args, _FIG_POLICIES[args.number])
-    if args.number == 13:
+    if args.number == "mem":
+        from .harness.figures import fig_mem, render_fig_mem
+
+        if args.jobs > 1:
+            # fan the full policy x workload x preset matrix over the
+            # pool (same preset filter fig_mem applies); fig_mem then
+            # reads every cell from the memo
+            from .harness.figures import FIG_MEM_PRESETS
+
+            r.session.sweep(
+                n_threads=(2, 4),
+                memory=tuple(
+                    p for p in FIG_MEM_PRESETS if p in MEMORY_PRESETS
+                ),
+            )
+        print(render_fig_mem(fig_mem(runner=r)))
+        return 0
+    number = int(args.number)
+    if number in _FIG_POLICIES:
+        _prewarm(r, args, _FIG_POLICIES[number])
+    if number == 13:
         print(render_fig13a(fig13a(runner=r)))
-    elif args.number == 14:
+    elif number == 14:
         print("Fig. 14: CCSI speedup over CSMT (%)")
         print(render_speedup_table(fig14(runner=r), ["NS", "AS"]))
-    elif args.number == 15:
+    elif number == 15:
         print("Fig. 15: COSI/OOSI speedup over SMT (%)")
         print(render_speedup_table(
             fig15(runner=r),
             ["COSI NS", "COSI AS", "OOSI NS", "OOSI AS"],
         ))
-    elif args.number == 16:
+    else:  # number == 16: argparse choices guarantee the range
         print(render_fig16(fig16(runner=r)))
-    else:
-        print(f"no figure {args.number}; choose 13/14/15/16",
-              file=sys.stderr)
-        return 2
     return 0
 
 
@@ -330,8 +346,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="presets to compare (default: all)")
     p.set_defaults(func=cmd_mem)
 
-    p = add_parser("fig", help="regenerate a paper figure")
-    p.add_argument("number", type=int, choices=(13, 14, 15, 16))
+    p = add_parser(
+        "fig",
+        help="regenerate a paper figure, or `fig mem` for the "
+             "memory-sensitivity figure",
+    )
+    p.add_argument("number", choices=("13", "14", "15", "16", "mem"),
+                   metavar="FIG",
+                   help="13/14/15/16 (paper figures) or mem "
+                        "(average IPC per policy x memory preset)")
     p.set_defaults(func=cmd_fig)
 
     p = add_parser("claims", help="evaluate the paper's claims")

@@ -36,7 +36,12 @@ from ..pipeline.stats import SimStats
 #: that makes old entries unusable.
 #: v2: SimStats grew per-level ``memory`` counters; MachineConfig grew
 #: the ``memory`` hierarchy block (both hashed into every key).
-CACHE_VERSION = 2
+#: v3: MemoryConfig grew ``mshr``/``writeback_penalty`` (hashed into
+#: every key), prefetch fills no longer refresh L2 replacement state,
+#: and ``SimStats.memory`` grew mshr/writeback/useful_l2 counters —
+#: pre-MSHR entries for prefetch presets would be wrong, so every v2
+#: entry is invalidated here rather than by silently changed results.
+CACHE_VERSION = 3
 
 
 def cache_key(

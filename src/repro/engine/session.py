@@ -357,8 +357,10 @@ class SimulationSession:
         return run_matrix(self, specs, self.jobs if jobs is None else jobs)
 
     # ----------------------------------------------------- conveniences
-    def ipc(self, policy, workload, n_threads: int) -> float:
-        return self.run(policy, workload, n_threads).ipc
+    def ipc(
+        self, policy, workload, n_threads: int, memory: str | None = None
+    ) -> float:
+        return self.run(policy, workload, n_threads, memory).ipc
 
     def speedup(self, policy, baseline, workload, n_threads: int) -> float:
         """Percent IPC speedup of ``policy`` over ``baseline``."""
@@ -366,10 +368,14 @@ class SimulationSession:
         b = self.ipc(baseline, workload, n_threads)
         return 100.0 * (p / b - 1.0)
 
-    def average_ipc(self, policy, n_threads: int) -> float:
-        """Mean IPC over all nine workloads (the paper's Fig. 16 bars)."""
+    def average_ipc(
+        self, policy, n_threads: int, memory: str | None = None
+    ) -> float:
+        """Mean IPC over all nine workloads (the paper's Fig. 16 bars;
+        ``memory=`` averages under a hierarchy preset instead)."""
         vals = [
-            self.ipc(policy, w, n_threads) for w in _workloads_table()
+            self.ipc(policy, w, n_threads, memory)
+            for w in _workloads_table()
         ]
         return sum(vals) / len(vals)
 

@@ -101,9 +101,15 @@ class ExperimentRunner:
         """Percent IPC speedup of ``policy`` over ``baseline``."""
         return self.session.speedup(policy, baseline, workload, n_threads)
 
-    def average_ipc(self, policy: Policy | str, n_threads: int) -> float:
-        """Mean IPC over all nine workloads (the paper's Fig. 16 bars)."""
-        return self.session.average_ipc(policy, n_threads)
+    def average_ipc(
+        self,
+        policy: Policy | str,
+        n_threads: int,
+        memory: str | None = None,
+    ) -> float:
+        """Mean IPC over all nine workloads (the paper's Fig. 16 bars;
+        ``memory=`` averages under a hierarchy preset instead)."""
+        return self.session.average_ipc(policy, n_threads, memory)
 
     def run_everything(self, n_threads_list=(2, 4), jobs=None) -> None:
         """Populate the full matrix (8 policies x 9 workloads x |T|)."""

@@ -9,12 +9,18 @@ paper-formatted text table.  The mapping to the paper:
 * :func:`fig15`  — COSI and OOSI speedups over SMT, same axes;
 * :func:`fig16`  — absolute average IPC of all eight multithreading
   configurations for 2T and 4T.
+
+Beyond the paper: :func:`fig_mem` (``repro fig mem``) is the
+memory-sensitivity figure the hierarchy subsystem opens — average IPC
+of every policy under every memory preset, i.e. Fig. 16 with the
+memory system as a second axis.
 """
 
 from __future__ import annotations
 
 from dataclasses import replace
 
+from ..arch.config import MEMORY_PRESETS
 from ..engine.session import SimulationSession
 from ..kernels.suite import BENCH_ORDER, get_meta
 from .experiment import DEFAULT_SCALE, ExperimentRunner, default_runner
@@ -153,6 +159,66 @@ def fig16(runner: ExperimentRunner | None = None):
                 }
             )
     return rows
+
+
+#: Preset column order of the memory-sensitivity figure: the paper's
+#: flat model first, then increasing hierarchy fidelity.
+FIG_MEM_PRESETS = [
+    "paper",
+    "slow-dram",
+    "mshr",
+    "l2",
+    "l2+mshr",
+    "l2+prefetch",
+    "l2+stride",
+]
+
+
+def fig_mem(
+    runner: ExperimentRunner | None = None,
+    presets=None,
+    n_threads=(2, 4),
+):
+    """Memory-sensitivity figure: average IPC (over all nine workloads)
+    of every multithreading technique under every memory preset."""
+    runner = runner or default_runner()
+    if presets is None:
+        presets = [p for p in FIG_MEM_PRESETS if p in MEMORY_PRESETS]
+    rows = []
+    for nt in n_threads:
+        for pol in FIG16_POLICIES:
+            rows.append(
+                {
+                    "threads": nt,
+                    "policy": pol,
+                    "ipc": {
+                        m: runner.average_ipc(pol, nt, memory=m)
+                        for m in presets
+                    },
+                }
+            )
+    return rows
+
+
+def render_fig_mem(rows) -> str:
+    """Policy x preset average-IPC table, one block per thread count."""
+    out = ["Fig. mem: average IPC per policy x memory preset"]
+    if not rows:
+        return out[0]
+    presets = list(rows[0]["ipc"])
+    header = "  " + " ".join(f"{m:>11s}" for m in presets)
+    for nt in sorted({r["threads"] for r in rows}):
+        out.append(f"--- {nt}-Thread ---")
+        out.append(f"  {'policy':8s}" + header)
+        for r in rows:
+            if r["threads"] == nt:
+                out.append(
+                    f"  {r['policy']:8s}  "
+                    + " ".join(
+                        f"{r['ipc'][m]:11.2f}" for m in presets
+                    )
+                )
+    return "\n".join(out)
 
 
 def _avg_speedup(

@@ -57,7 +57,8 @@ def render_memory_report(
     out = [
         f"Memory sensitivity: {policy} x {workload} x {n_threads}T",
         f"{'preset':>12s} {'IPC':>6s} {'cycles':>9s} {'L1I':>6s} "
-        f"{'L1D':>6s} {'L2':>6s} {'pf-useful':>10s} {'dram-wait':>9s}",
+        f"{'L1D':>6s} {'L2':>6s} {'pf-useful':>10s} {'dram-wait':>9s} "
+        f"{'merges':>6s} {'wb':>5s}",
     ]
     base = rows[0].ipc if rows else 0.0
     for r in rows:
@@ -70,12 +71,16 @@ def render_memory_report(
         )
         dram = s.memory.get("dram")
         dram_col = f"{dram['wait_cycles']:9d}" if dram else "        -"
+        mshr = s.memory.get("mshr")
+        mshr_col = f"{mshr['merges']:6d}" if mshr else "     -"
+        wb = s.memory.get("writeback")
+        wb_col = f"{wb['l1d'] + wb['l2']:5d}" if wb else "    -"
         delta = f"  ({100.0 * (r.ipc / base - 1.0):+.1f}%)" if base else ""
         out.append(
             f"{r.preset:>12s} {s.ipc:6.2f} {s.cycles:9d} "
             f"{_pct(s.icache_misses, s.icache_accesses)} "
             f"{_pct(s.dcache_misses, s.dcache_accesses)} "
-            f"{l2_col} {pf_col} {dram_col}{delta}"
+            f"{l2_col} {pf_col} {dram_col} {mshr_col} {wb_col}{delta}"
         )
     return "\n".join(out)
 
@@ -94,6 +99,7 @@ def render_memory_levels(stats: SimStats) -> str:
     if dram:
         out.append(
             f"  dram: {dram['accesses']:9d} accesses  "
+            f"{dram['writes']:6d} writes  "
             f"{dram['bank_conflicts']:6d} bank conflicts "
             f"({dram['wait_cycles']} wait cycles)"
         )
@@ -102,8 +108,24 @@ def render_memory_levels(stats: SimStats) -> str:
         useful = pf["useful"]
         issued = pf["issued"]
         rate = f" ({100.0 * useful / issued:.0f}% useful)" if issued else ""
+        l2u = pf.get("useful_l2", 0)
+        l2u_col = f" +{l2u} useful at L2" if l2u else ""
         out.append(
             f"  prefetch[{pf['kind']}]: {issued} issued, "
-            f"{useful} useful{rate}"
+            f"{useful} useful{rate}{l2u_col}"
+        )
+    mshr = mem.get("mshr")
+    if mshr:
+        out.append(
+            f"  mshr[{mshr['entries']}]: {mshr['merges']} merges, "
+            f"{mshr['full_stalls']} full stalls "
+            f"({mshr['full_stall_cycles']} wait cycles)"
+        )
+    wb = mem.get("writeback")
+    if wb:
+        out.append(
+            f"  writeback: {wb['l1d']} from L1D, {wb['l2']} from L2 "
+            f"({wb['stall_cycles']} stall cycles, "
+            f"penalty {wb['penalty']})"
         )
     return "\n".join(out)

@@ -40,6 +40,7 @@ class Cache:
         "hits",
         "misses",
         "writebacks",
+        "victim_line",
     )
 
     def __init__(self, cfg: CacheConfig):
@@ -55,6 +56,10 @@ class Cache:
         self.hits = 0
         self.misses = 0
         self.writebacks = 0
+        #: dirty victim evicted by the most recent miss/``fill`` (line
+        #: number, or ``None``); valid only immediately after that call
+        #: — hits never evict and leave it untouched
+        self.victim_line: int | None = None
 
     def reset_stats(self) -> None:
         self.hits = 0
@@ -81,10 +86,12 @@ class Cache:
         # miss: fill, evict LRU (the oldest insertion)
         self.misses += 1
         ways[line] = is_write
+        self.victim_line = None
         if len(ways) > self.assoc:
             victim = next(iter(ways))
             if ways.pop(victim):
                 self.writebacks += 1
+                self.victim_line = victim
         return False
 
     def contains(self, addr: int) -> bool:
@@ -92,18 +99,25 @@ class Cache:
         line = addr >> self.line_shift
         return line in self.sets[line & self.set_mask]
 
-    def fill(self, addr: int) -> None:
-        """Install a line as MRU without touching the demand hit/miss
-        counters (prefetch fills); evictions still count writebacks."""
+    def fill(self, addr: int, dirty: bool = False) -> None:
+        """Install an *absent* line as MRU without touching the demand
+        hit/miss counters (prefetch and writeback fills); evictions
+        still count writebacks.  A resident line is left completely
+        untouched — replacement state must not be refreshed by a fill
+        that installed nothing (``dirty=True`` still marks it, so a
+        writeback landing on a resident L2 line re-dirties it)."""
         line = addr >> self.line_shift
         ways = self.sets[line & self.set_mask]
-        dirty = ways.pop(line, None)
-        if dirty is None:
-            dirty = False
-            if len(ways) >= self.assoc:
-                victim = next(iter(ways))
-                if ways.pop(victim):
-                    self.writebacks += 1
+        self.victim_line = None
+        if line in ways:
+            if dirty:
+                ways[line] = True
+            return
+        if len(ways) >= self.assoc:
+            victim = next(iter(ways))
+            if ways.pop(victim):
+                self.writebacks += 1
+                self.victim_line = victim
         ways[line] = dirty
 
     @property
@@ -119,7 +133,9 @@ class Cache:
 class PerfectCache:
     """Always hits — the paper's IPCp (perfect memory) configuration."""
 
-    __slots__ = ("hits", "misses", "writebacks", "cfg", "line_shift")
+    __slots__ = (
+        "hits", "misses", "writebacks", "cfg", "line_shift", "victim_line"
+    )
 
     def __init__(self, cfg: CacheConfig):
         self.cfg = cfg
@@ -127,6 +143,7 @@ class PerfectCache:
         self.hits = 0
         self.misses = 0
         self.writebacks = 0
+        self.victim_line: int | None = None
 
     def reset_stats(self) -> None:
         self.hits = 0
@@ -146,7 +163,8 @@ class PerfectCache:
     def contains(self, addr: int) -> bool:
         return True
 
-    def fill(self, addr: int) -> None:  # pragma: no cover - trivial
+    def fill(self, addr: int, dirty: bool = False) -> None:
+        # pragma: no cover - trivial
         pass
 
     @property

@@ -19,12 +19,24 @@ bit for bit; with a hierarchy configured the charge is::
 
 where the DRAM charge is ``latency`` plus any wait for a busy bank.
 
+With ``MemoryConfig.mshr = N`` the L1s are non-blocking: each keeps an
+``N``-entry MSHR file ({line: fill-completion cycle}), misses of one
+instruction overlap (the pipeline stalls for the slowest, not the
+sum), an access to a line whose fill is in flight merges and pays only
+the residual, and a miss with every MSHR occupied waits for the
+earliest fill to retire.  With ``writeback_penalty`` set, dirty demand
+evictions cost time: the L1D victim pays a drain penalty and lands
+dirty in L2 (or posts to DRAM, occupying its bank); dirty L2 victims
+post to DRAM as pure bank occupancy.
+
 Prefetchers observe the L1D demand-miss stream and install predicted
 lines into L1D (and L2, keeping the hierarchy inclusive) without
-touching the demand counters; usefulness is counted when a demand hit
-lands on a prefetched line.  Everything is deterministic: the only
-inputs are the address stream and the cycle numbers the pipeline
-passes in.
+touching the demand counters or refreshing replacement state of lines
+already resident; usefulness is counted when a demand hit lands on a
+prefetched line (``useful``), or when a prefetched line evicted from
+L1D still turns the demand miss into an L2 hit (``useful_l2``).
+Everything is deterministic: the only inputs are the address stream
+and the cycle numbers the pipeline passes in.
 """
 
 from __future__ import annotations
@@ -95,6 +107,7 @@ class Dram:
         "bank_mask",
         "bank_ready",
         "accesses",
+        "writes",
         "bank_conflicts",
         "wait_cycles",
     )
@@ -105,6 +118,7 @@ class Dram:
         self.bank_mask = cfg.n_banks - 1
         self.bank_ready = [0] * cfg.n_banks
         self.accesses = 0
+        self.writes = 0
         self.bank_conflicts = 0
         self.wait_cycles = 0
 
@@ -125,6 +139,20 @@ class Dram:
         self.bank_ready[bank] = start + cfg.bank_busy
         return (start - cycle) + cfg.latency
 
+    def write(self, addr: int, cycle: int) -> None:
+        """One posted writeback: occupies the target bank (queueing
+        behind whatever holds it) but returns no latency — reads are
+        charged, writes only generate the traffic later reads feel."""
+        self.writes += 1
+        cfg = self.cfg
+        if not cfg.bank_busy:
+            return
+        bank = (addr >> self.bank_shift) & self.bank_mask
+        start = self.bank_ready[bank]
+        if start < cycle:
+            start = cycle
+        self.bank_ready[bank] = start + cfg.bank_busy
+
 
 class MemorySystem:
     """The composable memory stack the pipeline charges time through."""
@@ -138,10 +166,23 @@ class MemorySystem:
         "prefetcher",
         "_i_miss_penalty",
         "_d_miss_penalty",
+        "_i_line_shift",
         "_d_line_shift",
         "prefetch_issued",
         "prefetch_useful",
+        "prefetch_useful_l2",
         "_prefetched",
+        "_mshr",
+        "_i_inflight",
+        "_d_inflight",
+        "mshr_merges",
+        "mshr_full_stalls",
+        "mshr_full_stall_cycles",
+        "_wb_penalty",
+        "wb_l1d",
+        "wb_l2",
+        "wb_stall_cycles",
+        "_l2_hit",
     )
 
     def __init__(self, cfg: MachineConfig, perfect: bool = False):
@@ -160,10 +201,26 @@ class MemorySystem:
         )
         self._i_miss_penalty = cfg.icache.miss_penalty
         self._d_miss_penalty = cfg.dcache.miss_penalty
+        self._i_line_shift = cfg.icache.line_bytes.bit_length() - 1
         self._d_line_shift = cfg.dcache.line_bytes.bit_length() - 1
         self.prefetch_issued = 0
         self.prefetch_useful = 0
+        self.prefetch_useful_l2 = 0
         self._prefetched: set[int] = set()
+        # MSHR files (0 entries = blocking caches, the paper model):
+        # {line: fill-completion cycle} per L1, pruned lazily
+        self._mshr = 0 if perfect else m.mshr
+        self._i_inflight: dict[int, int] = {}
+        self._d_inflight: dict[int, int] = {}
+        self.mshr_merges = 0
+        self.mshr_full_stalls = 0
+        self.mshr_full_stall_cycles = 0
+        self._wb_penalty = 0 if perfect else m.writeback_penalty
+        self.wb_l1d = 0
+        self.wb_l2 = 0
+        self.wb_stall_cycles = 0
+        #: whether the most recent ``_below_l1`` call hit in L2
+        self._l2_hit = False
 
     # ------------------------------------------------------------ access
     def _below_l1(self, addr: int, flat_penalty: int, cycle: int) -> int:
@@ -171,41 +228,175 @@ class MemorySystem:
         lat = 0
         below = flat_penalty
         l2 = self.l2
+        l2_victim = None
+        self._l2_hit = False
         if l2 is not None:
             lat = self.mcfg.l2_hit_latency
             if l2.access(addr):
+                self._l2_hit = True
                 return lat
             below = l2.cfg.miss_penalty
+            if self._wb_penalty and l2.victim_line is not None:
+                l2_victim = l2.victim_line
         dram = self.dram
         if dram is not None:
-            return lat + dram.access(addr, cycle + lat)
+            # demand read first (it has priority), then the dirty L2
+            # victim's posted writeback queues on its bank
+            total = lat + dram.access(addr, cycle + lat)
+            if l2_victim is not None:
+                self.wb_l2 += 1
+                dram.write(l2_victim << l2.line_shift, cycle + lat)
+            return total
+        if l2_victim is not None:
+            self.wb_l2 += 1
         return lat + below
+
+    def _mshr_wait(self, inflight: dict[int, int], cycle: int) -> int:
+        """Allocate one MSHR at ``cycle``: retire completed fills; if
+        every entry is still in flight, the new miss waits for the
+        earliest fill to retire (counted as an MSHR-full stall)."""
+        if not inflight:
+            return 0
+        expired = [ln for ln, r in inflight.items() if r <= cycle]
+        for ln in expired:
+            del inflight[ln]
+        if len(inflight) < self._mshr:
+            return 0
+        first = min(inflight, key=inflight.__getitem__)
+        wait = inflight.pop(first) - cycle
+        self.mshr_full_stalls += 1
+        self.mshr_full_stall_cycles += wait
+        return wait
+
+    def _writeback(self, victim_addr: int, cycle: int) -> int:
+        """Charge one dirty L1D demand eviction: the victim drains
+        through the victim buffer (``writeback_penalty`` direct stall)
+        and occupies the level below — installed dirty into L2, else
+        holding its DRAM bank busy."""
+        self.wb_l1d += 1
+        penalty = self._wb_penalty
+        self.wb_stall_cycles += penalty
+        l2 = self.l2
+        if l2 is not None:
+            l2.fill(victim_addr, dirty=True)
+            if l2.victim_line is not None:
+                # cascading dirty L2 eviction: bank occupancy only
+                self.wb_l2 += 1
+                if self.dram is not None:
+                    self.dram.write(
+                        l2.victim_line << l2.line_shift, cycle
+                    )
+        elif self.dram is not None:
+            self.dram.write(victim_addr, cycle)
+        return penalty
 
     def iaccess(self, addr: int, cycle: int) -> int | None:
         """Instruction fetch: ``None`` on an L1I hit, else the extra
         stall cycles the fetch must wait."""
-        if self.l1i.access(addr):
+        l1i = self.l1i
+        mshr = self._mshr
+        if l1i.access(addr):
+            if mshr:
+                line = addr >> self._i_line_shift
+                inflight = self._i_inflight
+                ready = inflight.get(line)
+                if ready is not None:
+                    if ready > cycle:
+                        # secondary miss: the line's fill is still in
+                        # flight, so the tag "hit" really waits on the
+                        # MSHR — recount it as a miss and charge only
+                        # the residual latency
+                        l1i.hits -= 1
+                        l1i.misses += 1
+                        self.mshr_merges += 1
+                        return ready - cycle
+                    del inflight[line]
             return None
-        return self._below_l1(addr, self._i_miss_penalty, cycle)
+        lat = 0
+        if mshr:
+            line = addr >> self._i_line_shift
+            inflight = self._i_inflight
+            ready = inflight.get(line)
+            if ready is not None and ready > cycle:
+                # evicted while its fill was still in flight: merge
+                self.mshr_merges += 1
+                return ready - cycle
+            lat = self._mshr_wait(inflight, cycle)
+        lat += self._below_l1(addr, self._i_miss_penalty, cycle + lat)
+        if mshr:
+            inflight[line] = cycle + lat
+        return lat
 
     def daccess(self, addr: int, is_write: bool, cycle: int) -> int | None:
         """Data access: ``None`` on an L1D hit, else the extra stall
         cycles the thread must wait."""
-        if self.l1d.access(addr, is_write):
+        l1d = self.l1d
+        mshr = self._mshr
+        if l1d.access(addr, is_write):
             pre = self._prefetched
-            if pre:
+            if mshr or pre:
                 line = addr >> self._d_line_shift
-                if line in pre:
+                if pre and line in pre:
+                    # a (timeless) prefetch installed this line, so the
+                    # data is present even if an older fill for it is
+                    # still nominally in flight — credit the prefetch
+                    # and drop any stale MSHR entry
                     pre.discard(line)
                     self.prefetch_useful += 1
+                    if mshr:
+                        self._d_inflight.pop(line, None)
+                    return None
+                if mshr:
+                    inflight = self._d_inflight
+                    ready = inflight.get(line)
+                    if ready is not None:
+                        if ready > cycle:
+                            # secondary miss on an in-flight line:
+                            # recount the tag hit as a miss and charge
+                            # the residual
+                            l1d.hits -= 1
+                            l1d.misses += 1
+                            self.mshr_merges += 1
+                            return ready - cycle
+                        del inflight[line]
             return None
-        lat = self._below_l1(addr, self._d_miss_penalty, cycle)
+        # primary L1D miss; the access above may have evicted a dirty
+        # victim, which owes its writeback whether or not the miss
+        # itself merges below
+        line = addr >> self._d_line_shift
+        wb_victim = l1d.victim_line
+        lat = 0
+        if mshr:
+            inflight = self._d_inflight
+            ready = inflight.get(line)
+            if ready is not None and ready > cycle:
+                # the line was evicted while its fill was still in
+                # flight (tag miss, MSHR hit): merge, no new request —
+                # but the dirty victim this re-install displaced still
+                # drains through the writeback path
+                self.mshr_merges += 1
+                lat = ready - cycle
+                if wb_victim is not None and self._wb_penalty:
+                    lat += self._writeback(
+                        wb_victim << self._d_line_shift, cycle
+                    )
+                return lat
+            lat = self._mshr_wait(inflight, cycle)
+        lat += self._below_l1(addr, self._d_miss_penalty, cycle + lat)
+        if wb_victim is not None and self._wb_penalty:
+            lat += self._writeback(wb_victim << self._d_line_shift, cycle)
+        if mshr:
+            inflight[line] = cycle + lat
         pf = self.prefetcher
         if pf is not None:
-            line = addr >> self._d_line_shift
-            # a tracked line that demand-misses was evicted before use:
-            # the prefetch was not useful, stop tracking it
-            self._prefetched.discard(line)
+            pre = self._prefetched
+            if line in pre:
+                # evicted from L1D before use — but if the demand miss
+                # hit in L2, the prefetch still saved the DRAM trip:
+                # that L2 hit is the prefetch paying off
+                pre.discard(line)
+                if self._l2_hit:
+                    self.prefetch_useful_l2 += 1
             self._issue_prefetches(pf, line)
         return lat
 
@@ -222,6 +413,9 @@ class MemorySystem:
                 continue
             l1d.fill(paddr)
             if l2 is not None:
+                # Cache.fill is a no-op on resident lines, so this
+                # cannot refresh L2 replacement state for a line the
+                # prefetch did not install
                 l2.fill(paddr)
             self.prefetch_issued += 1
             pre.add(pline)
@@ -249,6 +443,7 @@ class MemorySystem:
         if self.dram is not None:
             out["dram"] = {
                 "accesses": self.dram.accesses,
+                "writes": self.dram.writes,
                 "bank_conflicts": self.dram.bank_conflicts,
                 "wait_cycles": self.dram.wait_cycles,
             }
@@ -257,5 +452,20 @@ class MemorySystem:
                 "kind": self.mcfg.prefetch,
                 "issued": self.prefetch_issued,
                 "useful": self.prefetch_useful,
+                "useful_l2": self.prefetch_useful_l2,
+            }
+        if self._mshr:
+            out["mshr"] = {
+                "entries": self._mshr,
+                "merges": self.mshr_merges,
+                "full_stalls": self.mshr_full_stalls,
+                "full_stall_cycles": self.mshr_full_stall_cycles,
+            }
+        if self._wb_penalty:
+            out["writeback"] = {
+                "penalty": self._wb_penalty,
+                "l1d": self.wb_l1d,
+                "l2": self.wb_l2,
+                "stall_cycles": self.wb_stall_cycles,
             }
         return out

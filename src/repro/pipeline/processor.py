@@ -13,7 +13,9 @@ Replays functional traces under a multithreading/split-issue
   perfect memory (IPCp mode);
 * taken-branch penalty (1 cycle; fall-through is the predicted path);
 * per-thread stalls on cache misses ("execution is stalled until the
-  architectural assumptions hold true");
+  architectural assumptions hold true") — blocking by default; with
+  ``MemoryConfig.mshr`` set the L1s are non-blocking and the misses of
+  one instruction overlap (stall for the slowest, not the sum);
 * buffered-store memory-port contention at last-part commit (Fig. 11):
   a collision stalls the pipeline one cycle per colliding port;
 * the multitasking environment of §VI-A: as many threads as hardware
@@ -142,6 +144,11 @@ class Processor:
         self.priority = make_priority(self.params.priority, n_threads)
         self.rng = random.Random(self.params.seed)
         self.mem = MemorySystem(cfg, self.params.perfect_memory)
+        #: MSHR-modeled non-blocking L1s: the misses of one instruction
+        #: overlap (stall for the slowest, not the sum)
+        self._nonblocking = (
+            cfg.memory.mshr > 0 and not self.params.perfect_memory
+        )
         self.icache = self.mem.l1i
         self.dcache = self.mem.l1d
         self.iline_shift = cfg.icache.line_bytes.bit_length() - 1
@@ -237,12 +244,19 @@ class Processor:
     def _dcache_probe(
         self, th: _Thread, mem_mask: int, cycle: int
     ) -> None:
-        """Probe the memory system for the memory ops just issued; an
-        L1D miss stalls the thread for the hierarchy's service latency
-        (stall-on-miss, serialised for multiple misses — single memory
-        port, blocking cache)."""
+        """Probe the memory system for the memory ops just issued.
+
+        Blocking caches (``mshr == 0``, the paper model): misses are
+        serialised — each later miss starts after the accumulated
+        penalty (single memory port, stall-on-miss) and the thread
+        stalls for the sum.
+
+        Non-blocking caches (``mshr > 0``): every miss issues at
+        ``cycle`` into its own MSHR and the fills overlap — the thread
+        stalls only until the slowest one completes."""
         row = th.addr_rows[th.bench.pos]
         store_mask = th.table.store_cmask[th.pend.static_index]
+        nonblocking = self._nonblocking
         penalty = 0
         m = mem_mask
         c = 0
@@ -251,16 +265,21 @@ class Processor:
                 addr = row[c]
                 if addr >= 0:
                     self.stats.dcache_accesses += 1
-                    # misses are serialised (single port, blocking
-                    # cache), so each later miss starts after the
-                    # accumulated penalty — the DRAM bank model must
-                    # see its real start cycle
+                    # the DRAM bank model must see each miss's real
+                    # start cycle: ``cycle`` when misses overlap,
+                    # after the accumulated penalty when they serialise
                     lat = self.mem.daccess(
-                        addr, bool((store_mask >> c) & 1), cycle + penalty
+                        addr,
+                        bool((store_mask >> c) & 1),
+                        cycle if nonblocking else cycle + penalty,
                     )
                     if lat is not None:
                         self.stats.dcache_misses += 1
-                        penalty += lat
+                        if nonblocking:
+                            if lat > penalty:
+                                penalty = lat
+                        else:
+                            penalty += lat
             m >>= 1
             c += 1
         if penalty:
@@ -539,6 +558,7 @@ class Processor:
         guards_m = engine.guards
         iaccess = mem_sys.iaccess
         daccess = mem_sys.daccess
+        nonblocking = self._nonblocking
         iline_shift = self.iline_shift
         taken_penalty = self.cfg.taken_branch_penalty
         target = self._target
@@ -630,21 +650,41 @@ class Processor:
                             penalty = 0
                             m = mem
                             c = 0
-                            while m:
-                                if m & 1:
-                                    addr = row[c]
-                                    if addr >= 0:
-                                        dcache_accesses += 1
-                                        lat = daccess(
-                                            addr,
-                                            bool((store_mask >> c) & 1),
-                                            cycle + penalty,
-                                        )
-                                        if lat is not None:
-                                            dcache_misses += 1
-                                            penalty += lat
-                                m >>= 1
-                                c += 1
+                            if nonblocking:
+                                # MSHRs: misses all issue at ``cycle``
+                                # and overlap; stall for the slowest
+                                while m:
+                                    if m & 1:
+                                        addr = row[c]
+                                        if addr >= 0:
+                                            dcache_accesses += 1
+                                            lat = daccess(
+                                                addr,
+                                                bool((store_mask >> c) & 1),
+                                                cycle,
+                                            )
+                                            if lat is not None:
+                                                dcache_misses += 1
+                                                if lat > penalty:
+                                                    penalty = lat
+                                    m >>= 1
+                                    c += 1
+                            else:
+                                while m:
+                                    if m & 1:
+                                        addr = row[c]
+                                        if addr >= 0:
+                                            dcache_accesses += 1
+                                            lat = daccess(
+                                                addr,
+                                                bool((store_mask >> c) & 1),
+                                                cycle + penalty,
+                                            )
+                                            if lat is not None:
+                                                dcache_misses += 1
+                                                penalty += lat
+                                    m >>= 1
+                                    c += 1
                             if penalty:
                                 su = cycle + 1 + penalty
                                 if su > th.stall_until:
@@ -722,25 +762,45 @@ class Processor:
                         penalty = 0
                         m = mem
                         c = 0
-                        while m:
-                            if m & 1:
-                                addr = row[c]
-                                if addr >= 0:
-                                    dcache_accesses += 1
-                                    # misses serialise (single port,
-                                    # blocking cache): later misses
-                                    # start after the accumulated
-                                    # penalty
-                                    lat = daccess(
-                                        addr,
-                                        bool((store_mask >> c) & 1),
-                                        cycle + penalty,
-                                    )
-                                    if lat is not None:
-                                        dcache_misses += 1
-                                        penalty += lat
-                            m >>= 1
-                            c += 1
+                        if nonblocking:
+                            # MSHRs: misses all issue at ``cycle`` and
+                            # overlap; stall for the slowest
+                            while m:
+                                if m & 1:
+                                    addr = row[c]
+                                    if addr >= 0:
+                                        dcache_accesses += 1
+                                        lat = daccess(
+                                            addr,
+                                            bool((store_mask >> c) & 1),
+                                            cycle,
+                                        )
+                                        if lat is not None:
+                                            dcache_misses += 1
+                                            if lat > penalty:
+                                                penalty = lat
+                                m >>= 1
+                                c += 1
+                        else:
+                            while m:
+                                if m & 1:
+                                    addr = row[c]
+                                    if addr >= 0:
+                                        dcache_accesses += 1
+                                        # misses serialise (single
+                                        # port, blocking cache): later
+                                        # misses start after the
+                                        # accumulated penalty
+                                        lat = daccess(
+                                            addr,
+                                            bool((store_mask >> c) & 1),
+                                            cycle + penalty,
+                                        )
+                                        if lat is not None:
+                                            dcache_misses += 1
+                                            penalty += lat
+                                m >>= 1
+                                c += 1
                         if penalty:
                             su = cycle + 1 + penalty
                             if su > th.stall_until:

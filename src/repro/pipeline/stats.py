@@ -87,6 +87,23 @@ class SimStats:
         return self.vertical_waste / self.cycles if self.cycles else 0.0
 
     @property
+    def mshr_merges(self) -> int:
+        """Secondary misses merged into an in-flight MSHR fill (0 for
+        blocking-cache presets; see ``memory["mshr"]``)."""
+        return self.memory.get("mshr", {}).get("merges", 0)
+
+    @property
+    def mshr_full_stall_cycles(self) -> int:
+        """Cycles misses waited because every MSHR was occupied."""
+        return self.memory.get("mshr", {}).get("full_stall_cycles", 0)
+
+    @property
+    def writeback_stall_cycles(self) -> int:
+        """Cycles charged for dirty-eviction writeback traffic (0 when
+        writebacks are free; see ``memory["writeback"]``)."""
+        return self.memory.get("writeback", {}).get("stall_cycles", 0)
+
+    @property
     def merged_cycle_frac(self) -> float:
         """Fraction of issuing cycles whose packet mixes >= 2 threads."""
         total = sum(
@@ -168,4 +185,6 @@ class SimStats:
                 if self.dcache_accesses
                 else 0.0
             ),
+            "mshr_merges": float(self.mshr_merges),
+            "writeback_stall_cycles": float(self.writeback_stall_cycles),
         }

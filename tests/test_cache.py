@@ -178,6 +178,56 @@ def test_fill_eviction_still_counts_writebacks():
     assert (c.hits, c.misses) == (0, 1)
 
 
+def test_fill_is_noop_on_resident_line():
+    """Regression: a fill that installs nothing must not refresh the
+    resident line's replacement state (prefetches were silently making
+    L2 lines MRU that they did not install)."""
+    c = small_cache(assoc=2, lines=1)  # one set, two ways
+    c.access(0 * 32)  # LRU
+    c.access(1 * 32)  # MRU
+    c.fill(0 * 32)    # resident: must NOT refresh line 0 to MRU
+    c.access(2 * 32)  # evicts the true LRU
+    assert not c.contains(0 * 32)  # line 0 was still LRU -> evicted
+    assert c.contains(1 * 32)
+
+
+def test_fill_noop_keeps_dirty_state_and_counters():
+    c = small_cache(assoc=2, lines=1)
+    c.access(0 * 32, is_write=True)  # dirty
+    before = (c.hits, c.misses, c.writebacks)
+    c.fill(0 * 32)                   # resident no-op: stays dirty
+    assert (c.hits, c.misses, c.writebacks) == before
+    c.access(1 * 32)
+    c.access(2 * 32)  # evicts dirty line 0
+    assert c.writebacks == 1
+
+
+def test_fill_dirty_installs_and_redirties():
+    c = small_cache(assoc=1, lines=1)
+    c.fill(0x000, dirty=True)  # writeback landing in this level
+    c.fill(0x020)              # evicts the dirty fill
+    assert c.writebacks == 1
+    # a dirty fill on a resident clean line re-dirties it
+    c.fill(0x020, dirty=True)
+    c.fill(0x040)
+    assert c.writebacks == 2
+
+
+def test_victim_line_reports_dirty_demand_victims():
+    c = small_cache(assoc=1, lines=1)
+    c.access(0 * 32, is_write=True)   # miss, no victim
+    assert c.victim_line is None
+    c.access(1 * 32)                  # evicts dirty line 0
+    assert c.victim_line == 0
+    c.access(2 * 32)                  # evicts clean line 1
+    assert c.victim_line is None
+    c.fill(3 * 32)                    # clean fill eviction
+    assert c.victim_line is None
+    c.access(3 * 32, is_write=True)
+    c.fill(4 * 32)                    # fill evicting a dirty line
+    assert c.victim_line == 3
+
+
 def test_miss_rate():
     c = small_cache()
     assert c.miss_rate == 0.0

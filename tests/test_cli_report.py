@@ -45,7 +45,9 @@ def test_parser_commands():
     args = ap.parse_args(["run", "--policy", "SMT", "--workload", "llll"])
     assert args.command == "run" and args.policy == "SMT"
     args = ap.parse_args(["fig", "14"])
-    assert args.number == 14
+    assert args.number == "14"
+    args = ap.parse_args(["fig", "mem"])
+    assert args.number == "mem"
     with pytest.raises(SystemExit):
         ap.parse_args(["fig", "99"])
     with pytest.raises(SystemExit):

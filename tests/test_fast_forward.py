@@ -18,6 +18,8 @@ import pytest
 from repro.arch.config import (
     MEMORY_PRESETS,
     PAPER_MACHINE,
+    DramConfig,
+    MemoryConfig,
     get_memory_config,
 )
 from repro.core.policies import ALL_POLICIES, BY_NAME
@@ -130,6 +132,64 @@ def test_resumed_runs_stay_identical(tiny_traces):
         fast = fast_proc.run(max_cycles=limit, stop_on_target=False)
         ref = ref_proc.run(max_cycles=limit, stop_on_target=False)
         assert fast.to_dict() == ref.to_dict(), limit
+
+
+def test_bank_busy_window_straddles_skipped_span(tiny_traces):
+    """A bank-busy reservation far longer than the stall that created
+    it must survive bulk skips: the fast path jumps over the span, but
+    a post-skip miss to the same bank has to wait the exact residual
+    the reference loop charges."""
+    cfg = replace(
+        PAPER_MACHINE,
+        memory=MemoryConfig(
+            name="t-straddle",
+            dram=DramConfig(latency=40, n_banks=1, bank_busy=300),
+        ),
+    )
+    for seed, timeslice in ((1, 0), (2, 130), (3, 700)):
+        params = SimParams(
+            target_instructions=2_500, timeslice=timeslice, seed=seed
+        )
+        fast, ref, proc = run_pair(
+            BY_NAME["SMT"], tiny_traces, 2, cfg, params
+        )
+        assert proc.ff_skipped_cycles > 0, (seed, timeslice)
+        assert fast.memory["dram"]["bank_conflicts"] > 0, (seed, timeslice)
+        assert fast.to_dict() == ref.to_dict(), (seed, timeslice)
+
+
+def test_slow_dram_timeslice_expiry_lands_mid_skip(tiny_traces):
+    """slow-dram preset with timeslices shorter than a DRAM stall: the
+    drain/context-switch transition fires inside spans the fast path
+    skips, while bank-busy windows carry across them."""
+    cfg = preset_cfg("slow-dram")
+    for seed in (21, 22):
+        for ts in (61, 97):
+            params = SimParams(
+                target_instructions=3_000, timeslice=ts, seed=seed
+            )
+            fast, ref, proc = run_pair(
+                BY_NAME["CCSI AS"], tiny_traces, 4, cfg, params
+            )
+            assert proc.ff_skipped_cycles > 0, (seed, ts)
+            assert fast.context_switches > 0, (seed, ts)
+            assert fast.to_dict() == ref.to_dict(), (seed, ts)
+
+
+def test_bit_identity_with_engaged_mshrs():
+    """Identity on the mshr presets proves nothing unless the MSHR
+    machinery actually fires — pin merges > 0 during the run."""
+    from repro.kernels.suite import get_trace
+
+    traces = [get_trace("mcf", 0.05), get_trace("idct", 0.05)]
+    for preset in ("mshr", "l2+mshr"):
+        cfg = preset_cfg(preset)
+        params = SimParams(
+            target_instructions=2_000, timeslice=500, seed=7
+        )
+        fast, ref, _ = run_pair(BY_NAME["CCSI AS"], traces, 2, cfg, params)
+        assert fast.memory["mshr"]["merges"] > 0, preset
+        assert fast.to_dict() == ref.to_dict(), preset
 
 
 # -------------------------------------------------------- hook fallback

@@ -184,6 +184,310 @@ def test_prefetch_fills_l2_too():
     assert mem.daccess(1 * 32, False, 1) == cfg.memory.l2_hit_latency
 
 
+# ----------------------------------------------------- MSHRs (non-blocking)
+def test_mshr_presets_registered():
+    m = get_memory_config("mshr")
+    assert m.mshr == 4 and m.writeback_penalty == 4 and m.dram is not None
+    m2 = get_memory_config("l2+mshr")
+    assert m2.mshr == 8 and m2.l2 is not None
+    assert not m.is_flat
+    assert not MemoryConfig(mshr=1).is_flat
+    assert not MemoryConfig(writeback_penalty=1).is_flat
+
+
+def test_mshr_config_validation():
+    with pytest.raises(ValueError):
+        MemoryConfig(mshr=-1)
+    with pytest.raises(ValueError):
+        MemoryConfig(writeback_penalty=-1)
+
+
+def test_mshr_secondary_miss_merges_and_pays_residual():
+    cfg = machine(name="t", mshr=2, dram=DramConfig(latency=60))
+    mem = MemorySystem(cfg)
+    assert mem.daccess(0x100, False, 0) == 60  # primary miss
+    # access to the in-flight line: merge, residual latency only
+    assert mem.daccess(0x104, False, 10) == 50
+    assert mem.mshr_merges == 1
+    # a secondary miss is a miss at both accounting levels
+    assert mem.l1d.misses == 2 and mem.l1d.hits == 0
+    # once the fill has landed it is a plain hit
+    assert mem.daccess(0x108, False, 60) is None
+    assert mem.l1d.hits == 1
+
+
+def test_mshr_hit_under_miss_is_free():
+    cfg = machine(name="t", mshr=2, dram=DramConfig(latency=60))
+    mem = MemorySystem(cfg)
+    mem.daccess(0 * 32, False, 0)
+    assert mem.daccess(0 * 32, False, 70) is None  # fill completed
+    mem.daccess(1 * 32, False, 100)  # miss in flight until 160
+    # a hit to a *different* resident line proceeds under the miss
+    assert mem.daccess(0 * 32, False, 101) is None
+
+
+def test_mshr_full_miss_waits_for_free_entry():
+    cfg = machine(name="t", mshr=1, dram=DramConfig(latency=60))
+    mem = MemorySystem(cfg)
+    assert mem.daccess(0 * 32, False, 0) == 60
+    # the single MSHR is occupied until 60: a new miss waits for it,
+    # then pays its own DRAM trip
+    assert mem.daccess(1 * 32, False, 10) == 50 + 60
+    assert mem.mshr_full_stalls == 1
+    assert mem.mshr_full_stall_cycles == 50
+
+
+def test_mshr_merge_after_eviction_of_inflight_line():
+    # L1D: 1 set x 1 way — the in-flight line gets evicted immediately
+    tiny = CacheConfig(size_bytes=32, assoc=1, line_bytes=32,
+                       miss_penalty=20)
+    cfg = MachineConfig(
+        icache=L1, dcache=tiny,
+        memory=MemoryConfig(name="t", mshr=2, dram=DramConfig(latency=60)),
+    )
+    mem = MemorySystem(cfg)
+    mem.daccess(0 * 32, False, 0)  # in flight until 60
+    mem.daccess(1 * 32, False, 5)  # evicts line 0 from the tags
+    # tag miss, but line 0's fill is still in flight: merge, no new
+    # lower-level request
+    dram_before = mem.dram.accesses
+    assert mem.daccess(0 * 32, False, 10) == 50
+    assert mem.mshr_merges == 1
+    assert mem.dram.accesses == dram_before
+
+
+def test_merging_miss_still_charges_dirty_victim_writeback():
+    """Regression: a miss that merges into an in-flight MSHR has still
+    evicted a line from the tags — if that victim was dirty, its
+    writeback must be charged exactly like on the non-merge path."""
+    tiny = CacheConfig(size_bytes=32, assoc=1, line_bytes=32,
+                       miss_penalty=20)
+    cfg = MachineConfig(
+        icache=L1, dcache=tiny,
+        memory=MemoryConfig(name="t", mshr=2, writeback_penalty=3,
+                            dram=DramConfig(latency=60)),
+    )
+    mem = MemorySystem(cfg)
+    mem.daccess(0 * 32, False, 0)  # A in flight until 60
+    mem.daccess(1 * 32, True, 5)   # evicts A (clean); B dirty
+    # re-access A at 10: tag miss (B resident) but A's fill is still in
+    # flight — merge pays the residual, and evicted dirty B pays its
+    # writeback drain + posts to DRAM
+    assert mem.daccess(0 * 32, False, 10) == 50 + 3
+    assert mem.wb_l1d == 1
+    assert mem.dram.writes == 1
+
+
+def test_prefetch_reinstalled_inflight_line_counts_useful():
+    """Regression: a line whose demand fill is in flight can be evicted
+    and then re-installed by a prefetch; the demand hit that follows is
+    served by the prefetch and must be credited (not recounted as a
+    merge paying the stale residual)."""
+    tiny = CacheConfig(size_bytes=32, assoc=1, line_bytes=32,
+                       miss_penalty=20)
+    cfg = MachineConfig(
+        icache=L1, dcache=tiny,
+        memory=MemoryConfig(name="t", mshr=4, prefetch="nextline",
+                            dram=DramConfig(latency=60)),
+    )
+    mem = MemorySystem(cfg)
+    mem.daccess(5 * 32, False, 0)  # line 5 in flight; prefetch 6 evicts 5
+    mem.daccess(4 * 32, False, 1)  # miss; its prefetch re-installs line 5
+    assert 5 in mem._prefetched
+    assert mem.daccess(5 * 32, False, 10) is None  # prefetch delivered
+    assert mem.prefetch_useful == 1
+    assert 5 not in mem._d_inflight  # stale MSHR entry dropped
+
+
+def test_mshr_instruction_fetch_merges():
+    cfg = machine(name="t", mshr=2, dram=DramConfig(latency=60))
+    mem = MemorySystem(cfg)
+    assert mem.iaccess(0x100, 0) == 60
+    assert mem.iaccess(0x110, 10) == 50  # same line, fill in flight
+    assert mem.mshr_merges == 1
+    assert mem.l1i.misses == 2
+
+
+def test_perfect_memory_disables_mshr_and_writeback():
+    cfg = machine(name="t", mshr=4, writeback_penalty=3,
+                  dram=DramConfig(latency=60))
+    mem = MemorySystem(cfg, perfect=True)
+    for a in range(0, 1 << 12, 32):
+        assert mem.daccess(a, True, 0) is None
+    d = mem.stats_dict()
+    assert "mshr" not in d and "writeback" not in d
+
+
+# ------------------------------------------------------ writeback traffic
+def test_writeback_charges_penalty_and_occupies_dram_bank():
+    tiny = CacheConfig(size_bytes=32, assoc=1, line_bytes=32,
+                       miss_penalty=20)
+    cfg = MachineConfig(
+        icache=L1, dcache=tiny,
+        memory=MemoryConfig(
+            name="t", writeback_penalty=3,
+            dram=DramConfig(latency=10, n_banks=1, bank_busy=8),
+        ),
+    )
+    mem = MemorySystem(cfg)
+    assert mem.daccess(0 * 32, True, 0) == 10  # dirty fill
+    # the miss at 20 evicts dirty line 0: the read goes first (bank
+    # free again), then the posted writeback re-occupies the bank, and
+    # the thread pays the 3-cycle victim-buffer drain on top
+    assert mem.daccess(1 * 32, False, 20) == 10 + 3
+    assert mem.wb_l1d == 1
+    assert mem.wb_stall_cycles == 3
+    assert mem.dram.writes == 1
+    # the write holds the bank until 36: a read at 22 waits 14 cycles
+    assert mem.daccess(2 * 32, False, 22) == 14 + 10
+    assert mem.dram.bank_conflicts == 1
+
+
+def test_writeback_installs_dirty_victim_into_l2():
+    tiny = CacheConfig(size_bytes=32, assoc=1, line_bytes=32,
+                       miss_penalty=20)
+    big_l2 = CacheConfig(size_bytes=64 * 1024, assoc=8, line_bytes=32,
+                         miss_penalty=60)
+    cfg = MachineConfig(
+        icache=L1, dcache=tiny,
+        memory=MemoryConfig(name="t", l2=big_l2, l2_hit_latency=8,
+                            writeback_penalty=3),
+    )
+    mem = MemorySystem(cfg)
+    mem.daccess(0 * 32, True, 0)  # dirty in L1D; L2 missed
+    assert mem.daccess(1 * 32, False, 100) == 8 + 60 + 3  # evicts dirty 0
+    assert mem.wb_l1d == 1
+    # the victim landed in L2: refetching it is an L2 hit
+    assert mem.daccess(0 * 32, False, 200) == 8
+    assert mem.l2.hits == 1
+
+
+def test_dirty_l2_eviction_occupies_dram():
+    tiny = CacheConfig(size_bytes=32, assoc=1, line_bytes=32,
+                       miss_penalty=20)
+    tiny_l2 = CacheConfig(size_bytes=32, assoc=1, line_bytes=32,
+                          miss_penalty=60)
+    cfg = MachineConfig(
+        icache=L1, dcache=tiny,
+        memory=MemoryConfig(name="t", l2=tiny_l2, l2_hit_latency=8,
+                            writeback_penalty=2,
+                            dram=DramConfig(latency=10, n_banks=1,
+                                            bank_busy=8)),
+    )
+    mem = MemorySystem(cfg)
+    mem.daccess(0 * 32, True, 0)    # L1D dirty; L2 installs line 0
+    mem.daccess(1 * 32, False, 50)  # L1D evicts dirty 0 -> L2 (dirty)
+    assert mem.wb_l1d == 1
+    # the next demand L2 miss evicts the dirty line 0 from L2: its
+    # writeback occupies a DRAM bank (posted, no direct stall)
+    writes_before = mem.dram.writes
+    mem.daccess(2 * 32, False, 100)
+    assert mem.wb_l2 == 1
+    assert mem.dram.writes == writes_before + 1
+
+
+def test_cascading_dirty_l2_eviction_counted_without_dram():
+    """wb_l2 counts dirty L2 evictions identically on the demand path
+    and the writeback-install cascade, with or without a DRAM model."""
+    tiny_l2 = CacheConfig(size_bytes=32, assoc=1, line_bytes=32,
+                          miss_penalty=60)
+    cfg = machine(name="t", l2=tiny_l2, writeback_penalty=2)
+    mem = MemorySystem(cfg)
+    mem.l2.fill(0 * 32, dirty=True)  # L2 holds a dirty line
+    mem._writeback(1 * 32, 0)        # an L1D victim displaces it
+    assert mem.wb_l1d == 1
+    assert mem.wb_l2 == 1  # cascade counted even with no DRAM
+
+
+def test_paper_preset_keeps_writebacks_free():
+    # flat model: dirty evictions are counted but charge nothing
+    tiny = CacheConfig(size_bytes=32, assoc=1, line_bytes=32,
+                       miss_penalty=20)
+    cfg = MachineConfig(icache=L1, dcache=tiny, memory=MemoryConfig())
+    mem = MemorySystem(cfg)
+    mem.daccess(0 * 32, True, 0)
+    assert mem.daccess(1 * 32, False, 10) == 20  # evicts dirty: free
+    assert mem.l1d.writebacks == 1
+    assert mem.wb_l1d == 0 and mem.wb_stall_cycles == 0
+
+
+# --------------------------------------- prefetch accounting (bugfixes)
+def test_prefetch_does_not_refresh_l2_replacement_state():
+    """Regression: prefetches used to call ``l2.fill`` on resident
+    lines, silently making them MRU; the L2 LRU order must be exactly
+    what the demand stream alone produces."""
+    l2cfg = CacheConfig(size_bytes=64, assoc=2, line_bytes=32,
+                        miss_penalty=60)  # one set, two ways
+    tiny = CacheConfig(size_bytes=32, assoc=1, line_bytes=32,
+                       miss_penalty=20)
+    cfg = MachineConfig(
+        icache=L1, dcache=tiny,
+        memory=MemoryConfig(name="t", l2=l2cfg, prefetch="nextline"),
+    )
+    mem = MemorySystem(cfg)
+    # L2 set holds lines 0 (LRU) and 2 (MRU); L1D holds only line 2
+    mem.l2.access(0 * 32)
+    mem.l2.access(2 * 32)
+    mem.l1d.fill(2 * 32)
+    # prefetch predicts line 0: absent in L1D, resident in L2
+    mem._issue_prefetches(mem.prefetcher, -1)
+    assert mem.prefetch_issued == 1
+    assert mem.l1d.contains(0 * 32)
+    # line 0 must still be the L2 LRU victim
+    mem.l2.access(4 * 32)
+    assert not mem.l2.contains(0 * 32)
+    assert mem.l2.contains(2 * 32)
+
+
+def test_prefetch_useful_at_l2_after_l1_eviction():
+    """Regression: a prefetched line evicted from L1D but still in L2
+    was dropped from tracking and credited nothing, even though the L2
+    hit it produces is the prefetch paying off."""
+    tiny = CacheConfig(size_bytes=32, assoc=1, line_bytes=32,
+                       miss_penalty=20)
+    big_l2 = CacheConfig(size_bytes=64 * 1024, assoc=8, line_bytes=32,
+                         miss_penalty=60)
+    cfg = MachineConfig(
+        icache=L1, dcache=tiny,
+        memory=MemoryConfig(name="t", l2=big_l2, l2_hit_latency=8,
+                            prefetch="nextline",
+                            dram=DramConfig(latency=60)),
+    )
+    mem = MemorySystem(cfg)
+    mem.daccess(0 * 32, False, 0)  # miss; prefetches line 1 to L1D+L2
+    mem.daccess(2 * 32, False, 1)  # miss; evicts prefetched line 1
+    # demand on line 1: L1D miss, L2 hit — credited at L2 level
+    assert mem.daccess(1 * 32, False, 2) == 8
+    assert mem.prefetch_useful == 0
+    assert mem.prefetch_useful_l2 == 1
+    assert mem.stats_dict()["prefetch"]["useful_l2"] == 1
+    # the tracking entry was consumed: no double credit
+    mem.l1d.flush()
+    mem.daccess(1 * 32, False, 100)
+    assert mem.prefetch_useful_l2 == 1
+
+
+def test_prefetch_miss_all_the_way_to_dram_still_not_useful():
+    """The l2-useful credit requires an actual L2 hit — a tracked line
+    that misses L2 too stays useless."""
+    tiny = CacheConfig(size_bytes=32, assoc=1, line_bytes=32,
+                       miss_penalty=20)
+    tiny_l2 = CacheConfig(size_bytes=32, assoc=1, line_bytes=32,
+                          miss_penalty=60)
+    cfg = MachineConfig(
+        icache=L1, dcache=tiny,
+        memory=MemoryConfig(name="t", l2=tiny_l2, l2_hit_latency=8,
+                            prefetch="nextline",
+                            dram=DramConfig(latency=60)),
+    )
+    mem = MemorySystem(cfg)
+    mem.daccess(0 * 32, False, 0)  # prefetches line 1 into L1D+L2
+    mem.daccess(4 * 32, False, 1)  # evicts line 1 from L1D *and* L2
+    mem.daccess(1 * 32, False, 2)  # tracked, but missed everywhere
+    assert mem.prefetch_useful == 0
+    assert mem.prefetch_useful_l2 == 0
+
+
 # ---------------------------------------------------- engine integration
 @pytest.fixture(scope="module")
 def session():
@@ -316,6 +620,21 @@ def test_session_memory_default(tmp_path):
     assert s.run("SMT", "llll", 2, memory="l2") is stats
 
 
+def test_mshr_preset_changes_results_and_reports(session):
+    blocking = session.run("CCSI AS", "llhh", 4, memory="slow-dram")
+    nb = session.run("CCSI AS", "llhh", 4, memory="mshr")
+    # same DRAM-heavy scenario, but misses overlap and merges fire
+    assert nb.cycles != blocking.cycles
+    m = nb.memory["mshr"]
+    assert m["entries"] == 4 and m["merges"] > 0
+    assert nb.memory["writeback"]["penalty"] == 4
+    # SimStats conveniences mirror the memory dict
+    assert nb.mshr_merges == m["merges"]
+    assert nb.mshr_full_stall_cycles == m["full_stall_cycles"]
+    assert blocking.mshr_merges == 0
+    assert nb.summary()["mshr_merges"] == float(m["merges"])
+
+
 # ----------------------------------------------------------- reporting
 def test_memory_sensitivity_report(session):
     from repro.harness.experiment import ExperimentRunner
@@ -333,3 +652,26 @@ def test_memory_sensitivity_report(session):
     assert "paper" in text and "l2" in text and "IPC" in text
     levels = render_memory_levels(rows[1].stats)
     assert "l2" in levels and "dram" in levels
+
+
+def test_memory_report_renders_mshr_and_writeback(session):
+    from repro.harness.memreport import render_memory_levels
+
+    s = session.run("SMT", "llll", 2, memory="l2+mshr")
+    text = render_memory_levels(s)
+    assert "mshr[8]" in text
+    assert "writeback:" in text
+
+
+def test_fig_mem(session):
+    from repro.harness.experiment import ExperimentRunner
+    from repro.harness.figures import fig_mem, render_fig_mem
+
+    runner = ExperimentRunner(session=session)
+    rows = fig_mem(runner, presets=["paper", "mshr"], n_threads=(2,))
+    assert len(rows) == 8  # all eight policies
+    assert all(set(r["ipc"]) == {"paper", "mshr"} for r in rows)
+    assert all(r["ipc"]["paper"] > 0 for r in rows)
+    text = render_fig_mem(rows)
+    assert "CCSI AS" in text and "OOSI NS" in text
+    assert "mshr" in text and "paper" in text and "2-Thread" in text
