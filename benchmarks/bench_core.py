@@ -4,8 +4,8 @@
 Measures the simulator's two run loops — the event-driven fast path
 (`Processor._run_fast`, bulk idle-cycle skipping) and the per-cycle
 reference loop (`Processor._run_reference`) — across a matrix of
-(policy x memory preset x thread count) scenarios, and writes the
-results to ``BENCH_core.json`` at the repository root.  Every scenario
+(policy x memory preset x thread count x machine scenario) scenarios,
+and writes the results to ``BENCH_core.json`` at the repository root.  Every scenario
 also cross-checks that both paths produce bit-identical ``SimStats``,
 so the benchmark doubles as an end-to-end equivalence smoke test.
 
@@ -48,37 +48,44 @@ except ImportError:  # plain checkout
 
 from dataclasses import replace
 
-from repro.arch.config import PAPER_MACHINE, get_memory_config
+from repro.arch.config import get_memory_config
+from repro.arch.scenarios import get_scenario
 from repro.core.policies import get_policy
 from repro.kernels.suite import get_trace
 from repro.pipeline.processor import Processor, SimParams
 
-#: (label, policy, memory preset, n_threads, workload benchmarks).
-#: ``membound-smt-1t`` is the headline memory-bound scenario: a single
-#: pointer-chasing thread on slow banked DRAM spends ~90% of its cycles
-#: stalled, which is exactly the span the fast-forward core skips.
+#: (label, policy, memory preset, n_threads, workload benchmarks,
+#: machine scenario).  ``membound-smt-1t`` is the headline memory-bound
+#: scenario: a single pointer-chasing thread on slow banked DRAM spends
+#: ~90% of its cycles stalled, which is exactly the span the
+#: fast-forward core skips.  ``narrow-oosi-2t`` runs on a non-default
+#: machine scenario so cross-machine code paths are speed-tracked too.
 SCENARIOS = [
     ("paper-ccsi-4t", "CCSI AS", "paper", 4,
-     ("mcf", "idct", "gsmencode", "colorspace")),
+     ("mcf", "idct", "gsmencode", "colorspace"), "paper"),
     ("paper-smt-4t", "SMT", "paper", 4,
-     ("mcf", "idct", "gsmencode", "colorspace")),
+     ("mcf", "idct", "gsmencode", "colorspace"), "paper"),
     ("paper-oosi-4t", "OOSI AS", "paper", 4,
-     ("mcf", "idct", "gsmencode", "colorspace")),
-    ("paper-smt-2t", "SMT", "paper", 2, ("mcf", "bzip2")),
-    ("membound-smt-1t", "SMT", "slow-dram", 1, ("mcf",)),
-    ("membound-ccsi-2t", "CCSI AS", "slow-dram", 2, ("mcf", "bzip2")),
+     ("mcf", "idct", "gsmencode", "colorspace"), "paper"),
+    ("paper-smt-2t", "SMT", "paper", 2, ("mcf", "bzip2"), "paper"),
+    ("membound-smt-1t", "SMT", "slow-dram", 1, ("mcf",), "paper"),
+    ("membound-ccsi-2t", "CCSI AS", "slow-dram", 2, ("mcf", "bzip2"),
+     "paper"),
     ("l2pf-ccsi-4t", "CCSI AS", "l2+prefetch", 4,
-     ("mcf", "idct", "gsmencode", "colorspace")),
-    ("mshr-ccsi-2t", "CCSI AS", "mshr", 2, ("mcf", "bzip2")),
+     ("mcf", "idct", "gsmencode", "colorspace"), "paper"),
+    ("mshr-ccsi-2t", "CCSI AS", "mshr", 2, ("mcf", "bzip2"), "paper"),
+    ("narrow-oosi-2t", "OOSI AS", "paper", 2, ("mcf", "bzip2"),
+     "narrow"),
 ]
 
 KERNEL_SCALE = 1.0
 
 
-def _params(quick: bool) -> SimParams:
+def _params(quick: bool, machine: str) -> SimParams:
+    spec = get_scenario(machine)
     return SimParams(
         target_instructions=2_000 if quick else 6_000,
-        timeslice=1_000 if quick else 3_000,
+        timeslice=spec.timeslice(1_000 if quick else 3_000),
         seed=12345,
     )
 
@@ -90,12 +97,13 @@ def _time_run(proc: Processor):
 
 
 def measure_scenario(label, policy_name, memory, n_threads, workload,
-                     quick: bool, reps: int) -> dict:
+                     machine, quick: bool, reps: int) -> dict:
     """Best-of-``reps`` wall time for both run loops on one scenario."""
-    cfg = replace(PAPER_MACHINE, memory=get_memory_config(memory))
+    cfg = replace(get_scenario(machine).machine,
+                  memory=get_memory_config(memory))
     policy = get_policy(policy_name)
     bundles = [get_trace(name, KERNEL_SCALE, cfg) for name in workload]
-    params = _params(quick)
+    params = _params(quick, machine)
 
     # untimed warm-up: populates the bundles' lazy per-rotation table
     # caches so the timed repetitions measure the simulator, not
@@ -126,6 +134,7 @@ def measure_scenario(label, policy_name, memory, n_threads, workload,
         "label": label,
         "policy": policy_name,
         "memory": memory,
+        "machine": machine,
         "n_threads": n_threads,
         "workload": list(workload),
         "cycles": fast.cycles,
@@ -200,18 +209,19 @@ def main(argv=None) -> int:
     reps = args.reps if args.reps is not None else (3 if args.quick else 5)
 
     results = []
-    for label, policy, memory, nt, workload in SCENARIOS:
+    for label, policy, memory, nt, workload, machine in SCENARIOS:
         r = measure_scenario(label, policy, memory, nt, workload,
-                             args.quick, reps)
+                             machine, args.quick, reps)
         results.append(r)
         print(f"{label:18s} {r['policy']:8s} {r['memory']:11s} "
-              f"nt={nt} cycles={r['cycles']:7d} "
+              f"{r['machine']:7s} nt={nt} cycles={r['cycles']:7d} "
               f"fast={r['fast_cps']:12.0f} cps "
               f"speedup={r['speedup']:5.2f}x "
               f"{'' if r['identical'] else ' !! MISMATCH'}")
 
     report = {
-        "schema": 1,
+        # schema 2: scenarios carry a machine-scenario coordinate
+        "schema": 2,
         "quick": args.quick,
         "reps": reps,
         "kernel_scale": KERNEL_SCALE,

@@ -196,6 +196,15 @@ MEMORY_PRESETS: dict[str, MemoryConfig] = {
         mshr=8,
         writeback_penalty=4,
     ),
+    "l2+pf+mshr": MemoryConfig(
+        name="l2+pf+mshr",
+        l2=_L2,
+        dram=_DRAM,
+        prefetch="nextline",
+        prefetch_degree=2,
+        mshr=8,
+        writeback_penalty=4,
+    ),
 }
 
 

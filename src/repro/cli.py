@@ -5,12 +5,15 @@ Commands
 --------
 ``run``      — one simulation cell (policy x workload x threads)
 ``sweep``    — the policy x workload x threads matrix, parallel + cached
-``fig``      — regenerate a paper figure (13, 14, 15 or 16), or the
+``fig``      — regenerate a paper figure (13, 14, 15 or 16), the
 memory-sensitivity figure (``fig mem``: average IPC per policy x
-memory preset)
+memory preset), or the machine-sensitivity figure (``fig machine``:
+average IPC per policy x machine scenario)
 ``claims``   — evaluate the §VI-B headline claims
 ``waste``    — vertical/horizontal waste decomposition per policy
 ``mem``      — memory-sensitivity report across hierarchy presets
+``machine``  — machine-sensitivity report across machine scenarios
+``scenarios``— list the declarative machine-scenario registry
 ``report``   — run the full matrix and (re)write EXPERIMENTS.md
 ``profile``  — cProfile one quick simulation, print the hottest
 functions (simulator-core time only: traces are built before the
@@ -19,7 +22,10 @@ profiler starts)
 ``run`` and ``sweep`` take ``--memory <preset>`` (presets from
 ``repro.arch.config.MEMORY_PRESETS``: the paper's flat model, shared
 L2, prefetchers, banked DRAM); ``sweep --memory`` accepts several
-presets and sweeps them as a fourth matrix axis.
+presets and sweeps them as a fourth matrix axis.  They likewise take
+``--machine <scenario>`` (``repro.arch.scenarios.MACHINE_PRESETS``
+names, or ``<machine>+<memory>`` compositions like ``narrow+l2``);
+``sweep --machine`` sweeps machines as a matrix axis of their own.
 
 Global flags ``--jobs N`` (process-pool width for sweeps) and
 ``--cache-dir DIR`` (content-hashed on-disk result cache; a rerun with
@@ -35,6 +41,7 @@ import json
 import sys
 
 from .arch.config import MEMORY_PRESETS
+from .arch.scenarios import MACHINE_PRESETS, get_scenario
 from .core.policies import BY_NAME
 from .harness.claims import evaluate_claims, render_claims
 from .harness.experiment import (
@@ -65,9 +72,24 @@ def _runner(args) -> ExperimentRunner:
     )
 
 
+def _check_machines(names) -> int | None:
+    """Resolve machine-scenario names early so a typo prints the
+    registry instead of a traceback.  Returns an exit code on error."""
+    for name in names or ():
+        try:
+            get_scenario(name)
+        except ValueError as e:
+            print(f"repro: {e}", file=sys.stderr)
+            return 2
+    return None
+
+
 def cmd_run(args) -> int:
+    if (rc := _check_machines([args.machine] if args.machine else [])):
+        return rc
     r = _runner(args)
-    s = r.run(args.policy, args.workload, args.threads, memory=args.memory)
+    s = r.run(args.policy, args.workload, args.threads,
+              memory=args.memory, machine=args.machine)
     print(json.dumps(s.summary(), indent=1))
     # the paper's flat model adds nothing beyond the summary's
     # icache/dcache miss rates; hierarchies get the per-level breakdown
@@ -79,25 +101,36 @@ def cmd_run(args) -> int:
 
 
 def cmd_sweep(args) -> int:
+    if (rc := _check_machines(args.machine)):
+        return rc
     session = _runner(args).session
     memory = tuple(args.memory) if args.memory else None
+    machine = tuple(args.machine) if args.machine else None
     results = session.sweep(
         policies=args.policies,
         workloads=args.workloads,
         n_threads=tuple(args.threads),
         memory=memory,
+        machine=machine,
     )
     mem_w = max(6, max(len(m) for m in memory)) if memory else 0
+    mach_w = max(7, max(len(m) for m in machine)) if machine else 0
     mem_hdr = f" {'memory':>{mem_w}s}" if memory else ""
-    print(f"{'T':>2s} {'policy':9s} {'workload':>9s}{mem_hdr} {'IPC':>6s}")
+    mach_hdr = f" {'machine':>{mach_w}s}" if machine else ""
+    print(f"{'T':>2s} {'policy':9s} {'workload':>9s}{mach_hdr}{mem_hdr} "
+          f"{'IPC':>6s}")
+    # normalise every key to (policy, workload, nt, memory, machine)
     rows = [
-        ((*k, None) if len(k) == 3 else k, s) for k, s in results.items()
+        ((*k, *(None,) * (5 - len(k))), s) for k, s in results.items()
     ]
-    for (pol, w, nt, m), s in sorted(
-        rows, key=lambda kv: (kv[0][3] or "", kv[0][2], kv[0][0], kv[0][1])
+    for (pol, w, nt, m, mach), s in sorted(
+        rows,
+        key=lambda kv: (kv[0][4] or "", kv[0][3] or "", kv[0][2],
+                        kv[0][0], kv[0][1]),
     ):
-        mem_col = f" {m:>{mem_w}s}" if memory else ""
-        print(f"{nt:2d} {pol:9s} {w:>9s}{mem_col} {s.ipc:6.2f}")
+        mem_col = f" {m or '':>{mem_w}s}" if memory else ""
+        mach_col = f" {mach or '':>{mach_w}s}" if machine else ""
+        print(f"{nt:2d} {pol:9s} {w:>9s}{mach_col}{mem_col} {s.ipc:6.2f}")
     info = session.cache_stats()
     print(
         f"# {len(results)} cells: {info['simulations']} simulated, "
@@ -129,6 +162,46 @@ def cmd_mem(args) -> int:
     return 0
 
 
+def cmd_machine(args) -> int:
+    from .harness.figures import FIG_MACHINE_PRESETS
+    from .harness.machreport import (
+        machine_sensitivity,
+        render_machine_report,
+    )
+
+    # the paper machine leads (it is the IPC-delta baseline), then the
+    # canonical figure order, then any preset the figure list misses
+    machines = args.machines or (
+        [m for m in FIG_MACHINE_PRESETS if m in MACHINE_PRESETS]
+        + sorted(set(MACHINE_PRESETS) - set(FIG_MACHINE_PRESETS))
+    )
+    if (rc := _check_machines(machines)):
+        return rc
+    r = _runner(args)
+    if args.jobs > 1:
+        # fan cold scenario cells over the pool; machine_sensitivity
+        # then reads them from the memo
+        r.session.sweep(
+            policies=[args.policy],
+            workloads=[args.workload],
+            n_threads=(args.threads,),
+            machine=tuple(machines),
+        )
+    rows = machine_sensitivity(
+        r, args.policy, args.workload, args.threads, machines
+    )
+    print(render_machine_report(rows, args.policy, args.workload,
+                                args.threads))
+    return 0
+
+
+def cmd_scenarios(args) -> int:
+    from .harness.machreport import render_scenarios
+
+    print(render_scenarios(verbose=args.verbose))
+    return 0
+
+
 def _prewarm(r: ExperimentRunner, args, policies=None) -> None:
     """With ``--jobs N``, fill the needed slice of the matrix through
     the parallel sweep first so figure/claim generation reads from the
@@ -147,6 +220,24 @@ _FIG_POLICIES = {
 
 def cmd_fig(args) -> int:
     r = _runner(args)
+    if args.number == "machine":
+        from .harness.figures import (
+            FIG_MACHINE_PRESETS,
+            fig_machine,
+            render_fig_machine,
+        )
+
+        if args.jobs > 1:
+            # fan the full policy x workload x machine matrix over the
+            # pool; fig_machine then reads every cell from the memo
+            r.session.sweep(
+                n_threads=(2, 4),
+                machine=tuple(
+                    m for m in FIG_MACHINE_PRESETS if m in MACHINE_PRESETS
+                ),
+            )
+        print(render_fig_machine(fig_machine(runner=r)))
+        return 0
     if args.number == "mem":
         from .harness.figures import fig_mem, render_fig_mem
 
@@ -214,21 +305,26 @@ def cmd_profile(args) -> int:
     import pstats
     from dataclasses import replace as _replace
 
-    from .arch.config import PAPER_MACHINE, get_memory_config
+    from .arch.config import get_memory_config
     from .core.policies import get_policy
     from .engine import QUICK_SCALE
     from .kernels.suite import get_trace
     from .pipeline.processor import Processor, SimParams
 
+    if (rc := _check_machines([args.machine])):
+        return rc
     scale = QUICK_SCALE
-    cfg = _replace(PAPER_MACHINE, memory=get_memory_config(args.memory))
+    spec = get_scenario(args.machine)
+    cfg = spec.machine
+    if args.memory is not None:
+        cfg = _replace(cfg, memory=get_memory_config(args.memory))
     bundles = [
         get_trace(name, scale.kernel_scale, cfg)
         for name in WORKLOADS[args.workload]
     ]
     params = SimParams(
         target_instructions=scale.target_instructions,
-        timeslice=scale.timeslice,
+        timeslice=spec.timeslice(scale.timeslice),
         max_cycles=scale.max_cycles,
         seed=scale.seed,
     )
@@ -242,7 +338,8 @@ def cmd_profile(args) -> int:
     prof.disable()
     path = "reference (per-cycle)" if args.reference else "fast-forward"
     print(f"# {args.policy} / {args.workload} / {args.threads}T / "
-          f"{args.memory} — {path} loop")
+          f"{args.machine} / {args.memory or cfg.memory.name} — "
+          f"{path} loop")
     print(f"# {stats.cycles} cycles, {stats.instructions} instructions, "
           f"IPC {stats.ipc:.2f}")
     ps = pstats.Stats(prof)
@@ -309,14 +406,23 @@ def build_parser() -> argparse.ArgumentParser:
         add_global_flags(p, defaults=False)
         return p
 
+    machine_help = (
+        "machine scenario "
+        f"({', '.join(sorted(MACHINE_PRESETS))}, or a "
+        "'<machine>+<memory>' composition like narrow+l2)"
+    )
+
     p = add_parser("run", help="simulate one policy/workload cell")
     p.add_argument("--policy", default="CCSI AS")
     p.add_argument("--workload", default="llhh", choices=list(WORKLOADS))
     p.add_argument("--threads", type=int, default=4, choices=(1, 2, 4))
-    p.add_argument("--memory", default="paper",
+    p.add_argument("--memory", default=None,
                    choices=sorted(MEMORY_PRESETS), metavar="PRESET",
                    help="memory-hierarchy preset "
-                        f"({', '.join(sorted(MEMORY_PRESETS))})")
+                        f"({', '.join(sorted(MEMORY_PRESETS))}; "
+                        "default: paper, or the --machine scenario's)")
+    p.add_argument("--machine", default=None, metavar="SCENARIO",
+                   help=machine_help + " (default: paper)")
     p.set_defaults(func=cmd_run)
 
     p = add_parser(
@@ -333,6 +439,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--memory", nargs="+", default=None,
                    choices=sorted(MEMORY_PRESETS), metavar="PRESET",
                    help="memory presets to sweep as a fourth axis")
+    p.add_argument("--machine", nargs="+", default=None,
+                   metavar="SCENARIO",
+                   help=machine_help + " — several sweep as an axis")
     p.set_defaults(func=cmd_sweep)
 
     p = add_parser(
@@ -347,14 +456,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_mem)
 
     p = add_parser(
-        "fig",
-        help="regenerate a paper figure, or `fig mem` for the "
-             "memory-sensitivity figure",
+        "machine",
+        help="machine-sensitivity report across machine scenarios",
     )
-    p.add_argument("number", choices=("13", "14", "15", "16", "mem"),
+    p.add_argument("--policy", default="CCSI AS")
+    p.add_argument("--workload", default="llhh", choices=list(WORKLOADS))
+    p.add_argument("--threads", type=int, default=4, choices=(1, 2, 4))
+    p.add_argument("--machines", nargs="+", default=None,
+                   metavar="SCENARIO",
+                   help="scenarios to compare (default: all presets)")
+    p.set_defaults(func=cmd_machine)
+
+    p = add_parser(
+        "scenarios", help="list the machine-scenario registry"
+    )
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="include descriptions and content fingerprints")
+    p.set_defaults(func=cmd_scenarios)
+
+    p = add_parser(
+        "fig",
+        help="regenerate a paper figure, `fig mem` for the memory-"
+             "sensitivity figure, or `fig machine` for the machine-"
+             "sensitivity figure",
+    )
+    p.add_argument("number",
+                   choices=("13", "14", "15", "16", "mem", "machine"),
                    metavar="FIG",
-                   help="13/14/15/16 (paper figures) or mem "
-                        "(average IPC per policy x memory preset)")
+                   help="13/14/15/16 (paper figures), mem (average IPC "
+                        "per policy x memory preset), or machine "
+                        "(average IPC per policy x machine scenario)")
     p.set_defaults(func=cmd_fig)
 
     p = add_parser("claims", help="evaluate the paper's claims")
@@ -376,10 +507,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--policy", default="CCSI AS")
     p.add_argument("--workload", default="llhh", choices=list(WORKLOADS))
     p.add_argument("--threads", type=int, default=4, choices=(1, 2, 4))
-    p.add_argument("--memory", default="paper",
+    p.add_argument("--memory", default=None,
                    choices=sorted(MEMORY_PRESETS), metavar="PRESET",
                    help="memory-hierarchy preset "
-                        f"({', '.join(sorted(MEMORY_PRESETS))})")
+                        f"({', '.join(sorted(MEMORY_PRESETS))}; "
+                        "default: the --machine scenario's)")
+    p.add_argument("--machine", default="paper", metavar="SCENARIO",
+                   help=machine_help)
     p.add_argument("--top", type=int, default=15, metavar="N",
                    help="number of functions to print (default: 15)")
     p.add_argument("--sort", default="cumulative",

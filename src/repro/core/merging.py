@@ -25,13 +25,40 @@ Merging level is selected by ``merge``:
   checked with one SWAR subtract on packed usage vectors;
 * ``"cluster"`` — cluster-level conflicts (a cluster may be used by at
   most one thread per cycle), checked with one AND of cluster masks.
+
+The op-level greedy fill (:meth:`try_ops`, OOSI's hot path) uses the
+same packed representation as the whole-instruction check: each
+operation's usage is a precomputed single-slot/single-FU packed int,
+accepted or rejected with one subtract-and-mask against ``remaining``.
+No scalar per-cluster counters exist anywhere — ``remaining`` is the
+only resource state, so partial issues never need a re-sync pass.
 """
 
 from __future__ import annotations
 
 from ..arch.config import MachineConfig
-from ..arch.resources import capacity_packed, guards_mask
+from ..arch.resources import (
+    CLUSTER_BITS,
+    OFF_ALU,
+    OFF_MEM,
+    OFF_MUL,
+    OFF_SLOTS,
+    capacity_packed,
+    guards_mask,
+)
 from .splitstate import PendingInstruction
+
+#: Packed one-operation usage per FU class (within a cluster's lane):
+#: every op takes an issue slot; ALU/MUL/MEM additionally take their
+#: FU; BRANCH (3) and COPY (4) take the slot only.  Indexed by the
+#: ``fu`` field of ``StaticTable.ops_desc`` descriptors.
+_OP_LANE = (
+    (1 << OFF_SLOTS) | (1 << OFF_ALU),  # 0: ALU
+    (1 << OFF_SLOTS) | (1 << OFF_MUL),  # 1: MUL
+    (1 << OFF_SLOTS) | (1 << OFF_MEM),  # 2: MEM
+    1 << OFF_SLOTS,                     # 3: BRANCH
+    1 << OFF_SLOTS,                     # 4: COPY
+)
 
 
 class MergeEngine:
@@ -47,58 +74,31 @@ class MergeEngine:
         "remaining",
         "used_mask",
         "mem_used_mask",
-        "slot_free",
-        "alu_free",
-        "mul_free",
-        "mem_free",
         "_op_level",
-        "_track_scalars",
-        "_init_slot",
-        "_init_alu",
-        "_init_mul",
-        "_init_mem",
+        "_op_usage",
     )
 
-    def __init__(self, cfg: MachineConfig, merge: str, op_split: bool = True):
-        """``op_split=False`` declares that :meth:`try_ops` will never
-        be called on this engine (the policy does not split at the
-        operation level), letting every cycle skip the scalar-counter
-        bookkeeping that exists only to feed the op-level greedy fill."""
+    def __init__(self, cfg: MachineConfig, merge: str):
         if merge not in ("op", "cluster"):
             raise ValueError(f"merge must be 'op' or 'cluster', got {merge}")
         self.cfg = cfg
         self.merge = merge
         self._op_level = merge == "op"
-        self._track_scalars = self._op_level and op_split
         self.capacity = capacity_packed(cfg)
         self.guards = guards_mask(cfg.n_clusters)
         self.n_clusters = cfg.n_clusters
-        cl = cfg.cluster
-        n = cfg.n_clusters
-        # immutable per-cycle reset images for the scalar counters
-        self._init_slot = [cl.issue_width] * n
-        self._init_alu = [cl.n_alu] * n
-        self._init_mul = [cl.n_mul] * n
-        self._init_mem = [cl.n_mem] * n
-        # per-cluster counters for the op-level greedy fill; allocated
-        # once and refilled in place every cycle
-        self.slot_free = list(self._init_slot)
-        self.alu_free = list(self._init_alu)
-        self.mul_free = list(self._init_mul)
-        self.mem_free = list(self._init_mem)
+        # packed usage of one operation, indexed [cluster][fu] — the
+        # op-level greedy fill's whole resource model
+        self._op_usage = [
+            [lane << (CLUSTER_BITS * c) for lane in _OP_LANE]
+            for c in range(cfg.n_clusters)
+        ]
         self.begin_cycle()
 
     def begin_cycle(self) -> None:
         self.remaining = self.capacity
         self.used_mask = 0
         self.mem_used_mask = 0
-        if self._track_scalars:
-            # refill the preallocated counters in place (slice copy)
-            # instead of building four new lists per simulated cycle
-            self.slot_free[:] = self._init_slot
-            self.alu_free[:] = self._init_alu
-            self.mul_free[:] = self._init_mul
-            self.mem_free[:] = self._init_mem
 
     # ------------------------------------------------------------------
     def _fits_op_level(self, packed: int) -> bool:
@@ -109,25 +109,11 @@ class MergeEngine:
     def _take_packed(self, packed: int, cmask: int, mem_cmask: int) -> None:
         self.used_mask |= cmask
         self.mem_used_mask |= mem_cmask
-        if not self._op_level:
-            # cluster-level merging never consults ``remaining`` or the
-            # scalar counters (conflicts are single mask tests, and
-            # try_ops is unreachable: Policy forbids op-split with
-            # cluster merging) — skip the coherence bookkeeping
-            return
-        self.remaining -= packed
-        if not self._track_scalars:
-            # no op-level split on this engine: nothing ever reads the
-            # scalar counters, so skip the coherence loop
-            return
-        # keep the scalar counters coherent for the op-level greedy fill
-        for c in range(self.n_clusters):
-            lane = (packed >> (16 * c)) & 0xFFFF
-            if lane:
-                self.slot_free[c] -= lane & 0x7
-                self.alu_free[c] -= (lane >> 4) & 0x7
-                self.mul_free[c] -= (lane >> 8) & 0x7
-                self.mem_free[c] -= (lane >> 12) & 0x7
+        if self._op_level:
+            # cluster-level merging never consults ``remaining``
+            # (conflicts are single mask tests), so only op-level
+            # engines track it
+            self.remaining -= packed
 
     # ------------------------------------------------------------------
     def try_whole(self, pend: PendingInstruction) -> bool:
@@ -210,13 +196,11 @@ class MergeEngine:
         """Offer individual pending operations (OOSI).
 
         Returns ``(ops_issued, issued_cluster_mask, issued_mem_mask)``;
-        updates ``pend``.
+        updates ``pend``.  Each operation is one packed SWAR
+        subtract-and-mask against ``remaining`` — the same check the
+        whole-instruction path uses, specialised to single-op usage —
+        so a partial fill leaves ``remaining`` exact with no re-sync.
         """
-        if not self._track_scalars:
-            raise RuntimeError(
-                "try_ops needs an engine built with op_split=True "
-                "(scalar counters are not being tracked)"
-            )
         st, i = pend.table, pend.static_index
         if pend.atomic:
             if not self._fits_op_level(st.packed[i]):
@@ -230,48 +214,29 @@ class MergeEngine:
         issued_cmask = 0
         issued_mem = 0
         still = []
-        slot_free = self.slot_free
-        alu_free = self.alu_free
-        mul_free = self.mul_free
-        mem_free = self.mem_free
+        remaining = self.remaining
+        guards = self.guards
+        op_usage = self._op_usage
+        note_op_issued = pend.note_op_issued
         for desc in pend.pending_ops:
             c, fu, is_mem = desc
-            if slot_free[c] >= 1:
-                if fu == 0 and alu_free[c] >= 1:  # ALU
-                    alu_free[c] -= 1
-                elif fu == 1 and mul_free[c] >= 1:  # MUL
-                    mul_free[c] -= 1
-                elif fu == 2 and mem_free[c] >= 1:  # MEM
-                    mem_free[c] -= 1
-                elif fu in (3, 4):  # BRANCH / COPY: slot only
-                    pass
-                else:
-                    still.append(desc)
-                    continue
-                slot_free[c] -= 1
-                self.used_mask |= 1 << c
-                issued_cmask |= 1 << c
+            u = op_usage[c][fu]
+            left = (remaining | guards) - u
+            if left & guards == guards:
+                # all guards survived: left's value fields are exactly
+                # remaining - u, so clearing the guards is the update
+                remaining = left ^ guards
+                bit = 1 << c
+                issued_cmask |= bit
                 if is_mem:
-                    self.mem_used_mask |= 1 << c
-                    issued_mem |= 1 << c
+                    issued_mem |= bit
                 issued += 1
-                pend.note_op_issued(c, is_mem)
+                note_op_issued(c, is_mem)
             else:
                 still.append(desc)
         pend.pending_ops = still
-        # keep packed remaining coherent (used by atomic checks later in
-        # the same cycle for other threads)
         if issued:
-            self._resync_packed()
+            self.remaining = remaining
+            self.used_mask |= issued_cmask
+            self.mem_used_mask |= issued_mem
         return issued, issued_cmask, issued_mem
-
-    def _resync_packed(self) -> None:
-        packed = 0
-        for c in range(self.n_clusters):
-            packed |= (
-                (self.slot_free[c] & 0x7)
-                | (self.alu_free[c] & 0x7) << 4
-                | (self.mul_free[c] & 0x7) << 8
-                | (self.mem_free[c] & 0x7) << 12
-            ) << (16 * c)
-        self.remaining = packed

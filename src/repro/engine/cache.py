@@ -3,8 +3,11 @@
 A cache entry is one simulated matrix cell.  The key is a SHA-256 over
 the *content* that determines the result bit-for-bit:
 
-* the full machine configuration (every field of
-  :class:`~repro.arch.config.MachineConfig`, recursively);
+* the machine scenario's canonical content fingerprint
+  (:func:`~repro.arch.scenarios.machine_fingerprint` — every field of
+  :class:`~repro.arch.config.MachineConfig`, recursively, minus
+  cosmetic names, so two identically-shaped machines share entries
+  regardless of what preset name they travel under);
 * the :class:`~repro.pipeline.processor.SimParams` (seed included —
   the context-switch schedule is part of the result);
 * the policy name;
@@ -29,6 +32,7 @@ import os
 from pathlib import Path
 
 from ..arch.config import MachineConfig
+from ..arch.scenarios import machine_fingerprint
 from ..pipeline.processor import SimParams
 from ..pipeline.stats import SimStats
 
@@ -41,7 +45,11 @@ from ..pipeline.stats import SimStats
 #: and ``SimStats.memory`` grew mshr/writeback/useful_l2 counters —
 #: pre-MSHR entries for prefetch presets would be wrong, so every v2
 #: entry is invalidated here rather than by silently changed results.
-CACHE_VERSION = 3
+#: v4: the machine is keyed by its scenario content fingerprint
+#: (machine presets are a sweep axis; cosmetic preset names no longer
+#: reach the key), and prefetch fills route through the MSHR file when
+#: one exists — ``SimStats.memory["prefetch"]`` grew late/dropped.
+CACHE_VERSION = 4
 
 
 def cache_key(
@@ -52,10 +60,14 @@ def cache_key(
     fingerprints: tuple[str, ...],
     n_threads: int,
 ) -> str:
-    """Deterministic content hash of one matrix cell."""
+    """Deterministic content hash of one matrix cell.
+
+    The machine enters as its scenario fingerprint; the effective
+    timeslice (a machine scenario may scale it) travels in ``params``.
+    """
     payload = {
         "version": CACHE_VERSION,
-        "machine": dataclasses.asdict(cfg),
+        "machine": machine_fingerprint(cfg),
         "params": dataclasses.asdict(params),
         "policy": policy_name,
         "members": list(members),

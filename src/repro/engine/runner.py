@@ -14,14 +14,17 @@ payloads and are folded into the parent session's memo and disk cache.
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
+from dataclasses import replace
 
 from ..pipeline.stats import SimStats
 
 #: One worker task: everything needed to reproduce a cell from scratch.
 #: (policy_name, member_names, n_threads, scale, cfg, reference) — the
-#: cfg already carries the cell's memory-scenario preset; ``reference``
-#: forwards the session's run-loop choice (results are bit-identical
-#: either way, but a reference session must honour its contract).
+#: cfg already carries the cell's machine- and memory-scenario
+#: coordinates and the scale its machine-rescaled timeslice;
+#: ``reference`` forwards the session's run-loop choice (results are
+#: bit-identical either way, but a reference session must honour its
+#: contract).
 _CellPayload = tuple
 
 
@@ -42,8 +45,9 @@ def run_matrix(
     specs: list[tuple],
     jobs: int = 1,
 ) -> dict[tuple, SimStats]:
-    """Execute ``specs`` — (policy, workload, n_threads) triples, or
-    quadruples with a memory-preset name appended — through
+    """Execute ``specs`` — (policy, workload, n_threads) triples,
+    quadruples with a memory-preset name appended, or quintuples with
+    (memory-preset-or-None, machine-scenario) appended — through
     ``session``, fanning cache misses out over ``jobs`` processes.
 
     Serial (``jobs <= 1``) just drives ``session.run``.  Parallel first
@@ -74,17 +78,23 @@ def run_matrix(
             pending.append(spec)
 
     if pending:
-        payloads = [
-            (
-                spec[0],
-                session.workload_members(spec[1]),
-                spec[2],
-                session.scale,
-                session.resolve_cfg(spec[3] if len(spec) > 3 else None),
-                session.reference,
+        payloads = []
+        for spec in pending:
+            memory = spec[3] if len(spec) > 3 else None
+            machine = spec[4] if len(spec) > 4 else None
+            params = session.params(machine)
+            payloads.append(
+                (
+                    spec[0],
+                    session.workload_members(spec[1]),
+                    spec[2],
+                    # the machine scenario may rescale the timeslice;
+                    # the worker rebuilds its params from this scale
+                    replace(session.scale, timeslice=params.timeslice),
+                    session.resolve_cfg(memory, machine),
+                    session.reference,
+                )
             )
-            for spec in pending
-        ]
         with ProcessPoolExecutor(max_workers=jobs) as pool:
             for spec, stats_dict in zip(
                 pending, pool.map(_simulate_cell, payloads)
@@ -96,6 +106,7 @@ def run_matrix(
                     spec[2],
                     stats,
                     spec[3] if len(spec) > 3 else None,
+                    spec[4] if len(spec) > 4 else None,
                 )
                 session.simulations += 1
                 results[spec] = stats

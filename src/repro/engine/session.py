@@ -13,10 +13,11 @@ experiment scale, and seed — and layers three result stores under one
 
 ``sweep()`` executes a policy × workload × thread-count matrix —
 optionally × memory-scenario (`memory=` presets from
-:data:`repro.arch.config.MEMORY_PRESETS`) — serially or on a process
-pool (:mod:`repro.engine.runner`); the same seed gives bit-identical
-counters either way, because every cell is an independent deterministic
-simulation.
+:data:`repro.arch.config.MEMORY_PRESETS`) and × machine-scenario
+(`machine=` presets from :data:`repro.arch.scenarios.MACHINE_PRESETS`)
+— serially or on a process pool (:mod:`repro.engine.runner`); the same
+seed gives bit-identical counters either way, because every cell is an
+independent deterministic simulation.
 """
 
 from __future__ import annotations
@@ -24,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from ..arch.config import MachineConfig, PAPER_MACHINE, get_memory_config
+from ..arch.scenarios import get_scenario
 from ..core.policies import ALL_POLICIES, Policy, get_policy
 from ..kernels.suite import get_trace
 from ..pipeline.processor import Processor, SimParams
@@ -79,8 +81,15 @@ class SimulationSession:
         jobs: int = 1,
         hooks=None,
         memory: str | None = None,
+        machine: str | None = None,
         reference: bool = False,
     ):
+        if machine is not None:
+            # a machine scenario supplies the whole config (its own
+            # memory included); an explicit memory= still overlays it
+            spec = get_scenario(machine)
+            cfg = spec.machine
+            scale = replace(scale, timeslice=spec.timeslice(scale.timeslice))
         if memory is not None:
             cfg = replace(cfg, memory=get_memory_config(memory))
         self.scale = scale
@@ -93,19 +102,27 @@ class SimulationSession:
         self.reference = reference
         self.cache = ResultCache(cache_dir) if cache_dir else None
         self._memo: dict[tuple, SimStats] = {}
-        #: per-preset machine configs derived from ``cfg`` (the memory
-        #: hierarchy is the only field that varies along the sweep axis)
-        self._preset_cfgs: dict[str, MachineConfig] = {}
+        #: machine configs resolved per (machine preset, memory preset)
+        #: sweep-axis coordinate, derived from the session config /
+        #: scenario registry; cached so config identity is stable for
+        #: the per-process trace memo
+        self._preset_cfgs: dict[tuple, MachineConfig] = {}
         #: Processor runs actually executed on behalf of this session
         #: (including pool workers); zero on a warm-cache rerun.
         self.simulations = 0
 
     # ------------------------------------------------------------ keys
-    def params(self) -> SimParams:
+    def params(self, machine: str | None = None) -> SimParams:
+        """Simulation parameters for one machine-scenario coordinate
+        (``None`` = the session's own scale): a scenario may scale the
+        OS timeslice (``fast-switch``), everything else is the scale's."""
         s = self.scale
+        timeslice = s.timeslice
+        if machine is not None:
+            timeslice = get_scenario(machine).timeslice(timeslice)
         return SimParams(
             target_instructions=s.target_instructions,
-            timeslice=s.timeslice,
+            timeslice=timeslice,
             max_cycles=s.max_cycles,
             seed=s.seed,
         )
@@ -117,23 +134,46 @@ class SimulationSession:
             return tuple(_workloads_table()[workload])
         return tuple(workload)
 
-    def resolve_cfg(self, memory: str | None) -> MachineConfig:
-        """Machine config for one memory-scenario preset (``None`` =
-        the session's own config)."""
-        if memory is None:
+    def machine_cfg(self, machine: str | None) -> MachineConfig:
+        """Base machine config for one machine-scenario coordinate
+        (``None`` = the session's own config).  This is the config
+        traces are compiled against, so it is shared by every memory
+        preset riding on the same machine."""
+        if machine is None:
             return self.cfg
-        cfg = self._preset_cfgs.get(memory)
+        key = (machine, None)
+        cfg = self._preset_cfgs.get(key)
         if cfg is None:
-            cfg = replace(self.cfg, memory=get_memory_config(memory))
-            self._preset_cfgs[memory] = cfg
+            cfg = get_scenario(machine).machine
+            self._preset_cfgs[key] = cfg
         return cfg
 
-    def _bundles(self, members: tuple[str, ...]) -> list[TraceBundle]:
-        # Always built against the session's base config: the memory
-        # hierarchy is invisible to the compiler and the functional VM,
-        # so every preset shares one compile + trace per benchmark.
+    def resolve_cfg(
+        self, memory: str | None, machine: str | None = None
+    ) -> MachineConfig:
+        """Machine config for one (memory preset, machine preset)
+        sweep-axis coordinate (``None`` = the session's own)."""
+        base = self.machine_cfg(machine)
+        if memory is None:
+            return base
+        key = (machine, memory)
+        cfg = self._preset_cfgs.get(key)
+        if cfg is None:
+            cfg = replace(base, memory=get_memory_config(memory))
+            self._preset_cfgs[key] = cfg
+        return cfg
+
+    def _bundles(
+        self, members: tuple[str, ...], machine: str | None = None
+    ) -> list[TraceBundle]:
+        # Built against the cell's *machine* base config (the compiler
+        # and functional VM see cluster count and issue shape): every
+        # memory preset riding on one machine shares one compile +
+        # trace per benchmark, because the memory hierarchy is
+        # invisible to both.
+        cfg = self.machine_cfg(machine)
         return [
-            get_trace(name, self.scale.kernel_scale, self.cfg)
+            get_trace(name, self.scale.kernel_scale, cfg)
             for name in members
         ]
 
@@ -144,10 +184,13 @@ class SimulationSession:
         n_threads: int,
         params: SimParams,
         cfg: MachineConfig | None = None,
+        machine: str | None = None,
     ) -> str | None:
         if self.cache is None:
             return None
-        prints = tuple(b.fingerprint() for b in self._bundles(members))
+        prints = tuple(
+            b.fingerprint() for b in self._bundles(members, machine)
+        )
         return cache_key(
             self.cfg if cfg is None else cfg,
             params,
@@ -163,18 +206,24 @@ class SimulationSession:
         workload,
         n_threads: int,
         memory: str | None = None,
-    ) -> tuple[Policy, tuple[str, ...], MachineConfig, tuple]:
+        machine: str | None = None,
+    ) -> tuple[Policy, tuple[str, ...], MachineConfig, SimParams, tuple]:
         """Normalise one matrix-cell spec to
-        (policy, members, machine config, memo key)."""
+        (policy, members, machine config, sim params, memo key)."""
         if isinstance(policy, str):
             policy = get_policy(policy)
         members = self.workload_members(workload)
-        cfg = self.resolve_cfg(memory)
-        # keyed by the full (frozen, hashable) memory config, not its
-        # name: a custom MemoryConfig sharing a preset's name must not
-        # collide with that preset in the memo
-        key = ("cell", policy.name, members, n_threads, cfg.memory)
-        return policy, members, cfg, key
+        cfg = self.resolve_cfg(memory, machine)
+        params = self.params(machine)
+        # keyed by the full (frozen, hashable) machine config plus the
+        # effective timeslice, not by preset names: a custom config
+        # sharing a preset's name must not collide with that preset in
+        # the memo, and a machine scenario may rescale the timeslice
+        key = (
+            "cell", policy.name, members, n_threads, cfg,
+            params.timeslice,
+        )
+        return policy, members, cfg, params, key
 
     # ------------------------------------------------------- execution
     def run(
@@ -183,29 +232,32 @@ class SimulationSession:
         workload,
         n_threads: int,
         memory: str | None = None,
+        machine: str | None = None,
     ) -> SimStats:
         """One cell of the matrix: memo → disk cache → simulate.
 
         ``memory`` names a :data:`~repro.arch.config.MEMORY_PRESETS`
-        scenario to run the cell under (default: the session's own
-        memory configuration)."""
-        stats = self.lookup(policy, workload, n_threads, memory)
+        scenario and ``machine`` a
+        :data:`~repro.arch.scenarios.MACHINE_PRESETS` scenario to run
+        the cell under (default: the session's own configuration —
+        ``machine="paper"`` is bit-identical to the default)."""
+        stats = self.lookup(policy, workload, n_threads, memory, machine)
         if stats is None:
-            policy, members, cfg, _ = self._cell(
-                policy, workload, n_threads, memory
+            policy, members, cfg, params, _ = self._cell(
+                policy, workload, n_threads, memory, machine
             )
             proc = Processor(
                 policy,
-                self._bundles(members),
+                self._bundles(members, machine),
                 n_threads,
                 cfg,
-                self.params(),
+                params,
                 hooks=self.hooks,
                 force_reference=self.reference,
             )
             stats = proc.run()
             self.simulations += 1
-            self.adopt(policy, members, n_threads, stats, memory)
+            self.adopt(policy, members, n_threads, stats, memory, machine)
         return stats
 
     def lookup(
@@ -214,6 +266,7 @@ class SimulationSession:
         workload,
         n_threads: int,
         memory: str | None = None,
+        machine: str | None = None,
     ):
         """Memo/disk-cache probe that never simulates (``None`` on miss).
 
@@ -223,13 +276,13 @@ class SimulationSession:
         hits are fine — the in-process run that populated the memo
         already fired its events.)
         """
-        policy, members, cfg, memo_key = self._cell(
-            policy, workload, n_threads, memory
+        policy, members, cfg, params, memo_key = self._cell(
+            policy, workload, n_threads, memory, machine
         )
         stats = self._memo.get(memo_key)
         if stats is None and not self.hooks:
             disk_key = self._disk_key(
-                policy.name, members, n_threads, self.params(), cfg
+                policy.name, members, n_threads, params, cfg, machine
             )
             if disk_key is not None:
                 stats = self.cache.get(disk_key)
@@ -244,15 +297,16 @@ class SimulationSession:
         n_threads: int,
         stats: SimStats,
         memory: str | None = None,
+        machine: str | None = None,
     ) -> None:
         """Store a computed result (local or a pool worker's) in the
         memo and disk cache, as if this session had simulated it."""
-        policy, members, cfg, memo_key = self._cell(
-            policy, workload, n_threads, memory
+        policy, members, cfg, params, memo_key = self._cell(
+            policy, workload, n_threads, memory, machine
         )
         self._memo[memo_key] = stats
         disk_key = self._disk_key(
-            policy.name, members, n_threads, self.params(), cfg
+            policy.name, members, n_threads, params, cfg, machine
         )
         if disk_key is not None:
             self.cache.put(
@@ -263,6 +317,7 @@ class SimulationSession:
                     "members": list(members),
                     "n_threads": n_threads,
                     "memory": cfg.memory.name,
+                    "machine": machine or "default",
                 },
             )
 
@@ -320,6 +375,7 @@ class SimulationSession:
         n_threads=(2, 4),
         jobs: int | None = None,
         memory=None,
+        machine=None,
     ) -> dict[tuple, SimStats]:
         """Run a policy × workload × thread-count matrix, optionally on
         a process pool.  Returns ``{(policy, workload, nt): SimStats}``;
@@ -328,7 +384,14 @@ class SimulationSession:
         ``memory`` adds a fourth sweep axis: a preset name (or sequence
         of names) from :data:`~repro.arch.config.MEMORY_PRESETS`.  When
         given, result keys become ``(policy, workload, nt, preset)``
-        and each cell simulates under that memory scenario."""
+        and each cell simulates under that memory scenario.
+
+        ``machine`` adds a machine-scenario axis: a name (or sequence
+        of names) resolvable by
+        :func:`~repro.arch.scenarios.get_scenario`.  When given, result
+        keys become ``(policy, workload, nt, memory, machine)`` (the
+        memory coordinate is ``None`` unless the memory axis is also
+        swept) and each cell simulates on that machine."""
         from .runner import run_matrix
 
         if policies is None:
@@ -338,18 +401,27 @@ class SimulationSession:
         ]
         if workloads is None:
             workloads = list(_workloads_table())
-        if memory is None:
+        mem_axis = (
+            (None,) if memory is None
+            else (memory,) if isinstance(memory, str)
+            else tuple(memory)
+        )
+        if machine is None:
             specs = [
-                (p, w, nt)
+                (p, w, nt) if m is None else (p, w, nt, m)
+                for m in mem_axis
                 for nt in n_threads
                 for p in policies
                 for w in workloads
             ]
         else:
-            presets = (memory,) if isinstance(memory, str) else tuple(memory)
+            machines = (
+                (machine,) if isinstance(machine, str) else tuple(machine)
+            )
             specs = [
-                (p, w, nt, m)
-                for m in presets
+                (p, w, nt, m, mach)
+                for mach in machines
+                for m in mem_axis
                 for nt in n_threads
                 for p in policies
                 for w in workloads
@@ -358,9 +430,14 @@ class SimulationSession:
 
     # ----------------------------------------------------- conveniences
     def ipc(
-        self, policy, workload, n_threads: int, memory: str | None = None
+        self,
+        policy,
+        workload,
+        n_threads: int,
+        memory: str | None = None,
+        machine: str | None = None,
     ) -> float:
-        return self.run(policy, workload, n_threads, memory).ipc
+        return self.run(policy, workload, n_threads, memory, machine).ipc
 
     def speedup(self, policy, baseline, workload, n_threads: int) -> float:
         """Percent IPC speedup of ``policy`` over ``baseline``."""
@@ -369,12 +446,17 @@ class SimulationSession:
         return 100.0 * (p / b - 1.0)
 
     def average_ipc(
-        self, policy, n_threads: int, memory: str | None = None
+        self,
+        policy,
+        n_threads: int,
+        memory: str | None = None,
+        machine: str | None = None,
     ) -> float:
         """Mean IPC over all nine workloads (the paper's Fig. 16 bars;
-        ``memory=`` averages under a hierarchy preset instead)."""
+        ``memory=`` / ``machine=`` average under a memory or machine
+        scenario instead)."""
         vals = [
-            self.ipc(policy, w, n_threads, memory)
+            self.ipc(policy, w, n_threads, memory, machine)
             for w in _workloads_table()
         ]
         return sum(vals) / len(vals)

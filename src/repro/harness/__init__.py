@@ -9,6 +9,12 @@ from .experiment import (
     default_runner,
     with_quick_scale,
 )
+from .machreport import (
+    MachineRow,
+    machine_sensitivity,
+    render_machine_report,
+    render_scenarios,
+)
 from .memreport import (
     MemRow,
     memory_sensitivity,
@@ -52,4 +58,8 @@ __all__ = [
     "memory_sensitivity",
     "render_memory_levels",
     "render_memory_report",
+    "MachineRow",
+    "machine_sensitivity",
+    "render_machine_report",
+    "render_scenarios",
 ]

@@ -49,6 +49,7 @@ class ExperimentRunner:
         jobs: int = 1,
         session: SimulationSession | None = None,
         memory: str | None = None,
+        machine: str | None = None,
     ):
         if session is not None:
             if (
@@ -57,16 +58,18 @@ class ExperimentRunner:
                 or cache_dir is not None
                 or jobs != 1
                 or memory is not None
+                or machine is not None
             ):
                 raise ValueError(
                     "session= is mutually exclusive with "
-                    "scale/cfg/cache_dir/jobs/memory (the session owns "
-                    "those)"
+                    "scale/cfg/cache_dir/jobs/memory/machine (the "
+                    "session owns those)"
                 )
             self.session = session
         else:
             self.session = SimulationSession(
-                scale, cfg, cache_dir=cache_dir, jobs=jobs, memory=memory
+                scale, cfg, cache_dir=cache_dir, jobs=jobs,
+                memory=memory, machine=machine,
             )
 
     @property
@@ -83,10 +86,11 @@ class ExperimentRunner:
         workload: str,
         n_threads: int,
         memory: str | None = None,
+        machine: str | None = None,
     ) -> SimStats:
         """One cell of the matrix (memoised by the session), optionally
-        under a named memory-scenario preset."""
-        return self.session.run(policy, workload, n_threads, memory)
+        under a named memory- and/or machine-scenario preset."""
+        return self.session.run(policy, workload, n_threads, memory, machine)
 
     def ipc(self, policy: Policy | str, workload: str, n_threads: int) -> float:
         return self.session.ipc(policy, workload, n_threads)
@@ -106,10 +110,12 @@ class ExperimentRunner:
         policy: Policy | str,
         n_threads: int,
         memory: str | None = None,
+        machine: str | None = None,
     ) -> float:
         """Mean IPC over all nine workloads (the paper's Fig. 16 bars;
-        ``memory=`` averages under a hierarchy preset instead)."""
-        return self.session.average_ipc(policy, n_threads, memory)
+        ``memory=`` / ``machine=`` average under a memory or machine
+        scenario instead)."""
+        return self.session.average_ipc(policy, n_threads, memory, machine)
 
     def run_everything(self, n_threads_list=(2, 4), jobs=None) -> None:
         """Populate the full matrix (8 policies x 9 workloads x |T|)."""

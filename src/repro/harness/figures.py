@@ -13,7 +13,10 @@ paper-formatted text table.  The mapping to the paper:
 Beyond the paper: :func:`fig_mem` (``repro fig mem``) is the
 memory-sensitivity figure the hierarchy subsystem opens — average IPC
 of every policy under every memory preset, i.e. Fig. 16 with the
-memory system as a second axis.
+memory system as a second axis — and :func:`fig_machine`
+(``repro fig machine``) is its machine-scenario sibling: average IPC
+of every policy on every machine preset, the cross-machine scaling
+study the paper's single fixed machine could not express.
 """
 
 from __future__ import annotations
@@ -21,6 +24,7 @@ from __future__ import annotations
 from dataclasses import replace
 
 from ..arch.config import MEMORY_PRESETS
+from ..arch.scenarios import MACHINE_PRESETS
 from ..engine.session import SimulationSession
 from ..kernels.suite import BENCH_ORDER, get_meta
 from .experiment import DEFAULT_SCALE, ExperimentRunner, default_runner
@@ -171,6 +175,7 @@ FIG_MEM_PRESETS = [
     "l2+mshr",
     "l2+prefetch",
     "l2+stride",
+    "l2+pf+mshr",
 ]
 
 
@@ -216,6 +221,66 @@ def render_fig_mem(rows) -> str:
                     f"  {r['policy']:8s}  "
                     + " ".join(
                         f"{r['ipc'][m]:11.2f}" for m in presets
+                    )
+                )
+    return "\n".join(out)
+
+
+#: Machine column order of the machine-sensitivity figure: the paper's
+#: machine first, then shape variations.
+FIG_MACHINE_PRESETS = [
+    "paper",
+    "narrow",
+    "wide",
+    "big-fu",
+    "fast-switch",
+]
+
+
+def fig_machine(
+    runner: ExperimentRunner | None = None,
+    machines=None,
+    n_threads=(2, 4),
+):
+    """Machine-sensitivity figure: average IPC (over all nine
+    workloads) of every multithreading technique on every machine
+    scenario — the cross-machine scaling study no single-machine axis
+    can produce."""
+    runner = runner or default_runner()
+    if machines is None:
+        machines = [m for m in FIG_MACHINE_PRESETS if m in MACHINE_PRESETS]
+    rows = []
+    for nt in n_threads:
+        for pol in FIG16_POLICIES:
+            rows.append(
+                {
+                    "threads": nt,
+                    "policy": pol,
+                    "ipc": {
+                        m: runner.average_ipc(pol, nt, machine=m)
+                        for m in machines
+                    },
+                }
+            )
+    return rows
+
+
+def render_fig_machine(rows) -> str:
+    """Policy x machine average-IPC table, one block per thread count."""
+    out = ["Fig. machine: average IPC per policy x machine scenario"]
+    if not rows:
+        return out[0]
+    machines = list(rows[0]["ipc"])
+    header = "  " + " ".join(f"{m:>11s}" for m in machines)
+    for nt in sorted({r["threads"] for r in rows}):
+        out.append(f"--- {nt}-Thread ---")
+        out.append(f"  {'policy':8s}" + header)
+        for r in rows:
+            if r["threads"] == nt:
+                out.append(
+                    f"  {r['policy']:8s}  "
+                    + " ".join(
+                        f"{r['ipc'][m]:11.2f}" for m in machines
                     )
                 )
     return "\n".join(out)

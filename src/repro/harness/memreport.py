@@ -110,9 +110,13 @@ def render_memory_levels(stats: SimStats) -> str:
         rate = f" ({100.0 * useful / issued:.0f}% useful)" if issued else ""
         l2u = pf.get("useful_l2", 0)
         l2u_col = f" +{l2u} useful at L2" if l2u else ""
+        late = pf.get("late", 0)
+        late_col = f", {late} late" if late else ""
+        dropped = pf.get("dropped", 0)
+        drop_col = f", {dropped} dropped (MSHRs full)" if dropped else ""
         out.append(
             f"  prefetch[{pf['kind']}]: {issued} issued, "
-            f"{useful} useful{rate}{l2u_col}"
+            f"{useful} useful{rate}{l2u_col}{late_col}{drop_col}"
         )
     mshr = mem.get("mshr")
     if mshr:

@@ -10,8 +10,9 @@ matrix reuses twelve functional runs.
 from __future__ import annotations
 
 from collections.abc import Callable
+from dataclasses import replace
 
-from ..arch.config import MachineConfig, PAPER_MACHINE
+from ..arch.config import MachineConfig, MemoryConfig, PAPER_MACHINE
 from ..compiler.builder import KernelBuilder
 from ..compiler.pipeline import compile_kernel
 from ..pipeline.trace import TraceBundle, record_trace
@@ -51,7 +52,12 @@ BY_CLASS: dict[str, list[str]] = {"l": [], "m": [], "h": []}
 for _name, (_meta, _) in SUITE.items():
     BY_CLASS[_meta.ilp_class].append(_name)
 
-_trace_cache: dict[tuple[str, float, int], TraceBundle] = {}
+_trace_cache: dict[tuple[str, float, MachineConfig], TraceBundle] = {}
+
+#: canonical memory block for trace-memo keys: compilation and the
+#: functional VM never see the memory hierarchy, so configs differing
+#: only there must share one compile + trace
+_FLAT_MEMORY = MemoryConfig()
 
 
 def get_meta(name: str) -> KernelMeta:
@@ -70,8 +76,21 @@ def get_trace(
     cfg: MachineConfig = PAPER_MACHINE,
     max_instructions: int = 5_000_000,
 ) -> TraceBundle:
-    """Compile + functionally execute + memoise one benchmark trace."""
-    key = (name, scale, id(cfg))
+    """Compile + functionally execute + memoise one benchmark trace.
+
+    Memoised by config *value* (``MachineConfig`` is frozen/hashable)
+    with the memory hierarchy normalised out (the compiler and the
+    functional VM never see it), so configs that agree on the machine
+    shape share a trace even across pickling boundaries — pool workers
+    receive a fresh config object per cell but still compile each
+    (benchmark, machine shape) once per process, whatever memory
+    presets ride on it.
+    """
+    key_cfg = (
+        cfg if cfg.memory == _FLAT_MEMORY
+        else replace(cfg, memory=_FLAT_MEMORY)
+    )
+    key = (name, scale, key_cfg)
     bundle = _trace_cache.get(key)
     if bundle is None:
         result = build_program(name, scale, cfg)

@@ -35,6 +35,15 @@ touching the demand counters or refreshing replacement state of lines
 already resident; usefulness is counted when a demand hit lands on a
 prefetched line (``useful``), or when a prefetched line evicted from
 L1D still turns the demand miss into an L2 hit (``useful_l2``).
+
+Without MSHRs a prefetch is *timeless*: the predicted line is simply
+present.  With ``mshr > 0`` prefetch fills route through the MSHR file
+and are priced: a predicted line allocates an MSHR and lands only
+after its real fill latency (its DRAM trip occupies the bank, so
+prefetch bandwidth competes with demand traffic), a demand access
+arriving before the fill completes pays the residual (counted
+``late``), and a prediction arriving with every MSHR occupied is
+dropped (``dropped``) — demand misses keep priority over predictions.
 Everything is deterministic: the only inputs are the address stream
 and the cycle numbers the pipeline passes in.
 """
@@ -171,6 +180,9 @@ class MemorySystem:
         "prefetch_issued",
         "prefetch_useful",
         "prefetch_useful_l2",
+        "prefetch_late",
+        "prefetch_dropped",
+        "_priced_prefetch",
         "_prefetched",
         "_mshr",
         "_i_inflight",
@@ -206,10 +218,15 @@ class MemorySystem:
         self.prefetch_issued = 0
         self.prefetch_useful = 0
         self.prefetch_useful_l2 = 0
+        self.prefetch_late = 0
+        self.prefetch_dropped = 0
         self._prefetched: set[int] = set()
         # MSHR files (0 entries = blocking caches, the paper model):
         # {line: fill-completion cycle} per L1, pruned lazily
         self._mshr = 0 if perfect else m.mshr
+        #: with both MSHRs and a prefetcher, prefetch fills allocate
+        #: MSHRs and land after their real latency instead of timelessly
+        self._priced_prefetch = bool(self._mshr and self.prefetcher)
         self._i_inflight: dict[int, int] = {}
         self._d_inflight: dict[int, int] = {}
         self.mshr_merges = 0
@@ -268,13 +285,18 @@ class MemorySystem:
         self.mshr_full_stall_cycles += wait
         return wait
 
-    def _writeback(self, victim_addr: int, cycle: int) -> int:
-        """Charge one dirty L1D demand eviction: the victim drains
-        through the victim buffer (``writeback_penalty`` direct stall)
-        and occupies the level below — installed dirty into L2, else
-        holding its DRAM bank busy."""
+    def _writeback(
+        self, victim_addr: int, cycle: int, stall: bool = True
+    ) -> int:
+        """Charge one dirty L1D eviction: the victim drains through
+        the victim buffer (``writeback_penalty`` direct stall) and
+        occupies the level below — installed dirty into L2, else
+        holding its DRAM bank busy.  ``stall=False`` posts the traffic
+        without the drain stall (a priced *prefetch* displaced the
+        victim: there is no requesting thread to stall, but the
+        bandwidth below is still consumed)."""
         self.wb_l1d += 1
-        penalty = self._wb_penalty
+        penalty = self._wb_penalty if stall else 0
         self.wb_stall_cycles += penalty
         l2 = self.l2
         if l2 is not None:
@@ -337,14 +359,24 @@ class MemorySystem:
             if mshr or pre:
                 line = addr >> self._d_line_shift
                 if pre and line in pre:
-                    # a (timeless) prefetch installed this line, so the
-                    # data is present even if an older fill for it is
-                    # still nominally in flight — credit the prefetch
-                    # and drop any stale MSHR entry
+                    # a prefetch installed this line: credit it.  A
+                    # timeless prefetch (no MSHRs) delivered the data
+                    # outright; a priced one may still be in flight —
+                    # the demand that catches it pays the residual
+                    # (a *late* prefetch) and retires the MSHR.
                     pre.discard(line)
                     self.prefetch_useful += 1
                     if mshr:
-                        self._d_inflight.pop(line, None)
+                        ready = self._d_inflight.pop(line, None)
+                        if ready is not None and ready > cycle:
+                            # recount the tag hit as a miss, exactly
+                            # like the demand secondary-miss path: the
+                            # access stalls, and the L1 counters must
+                            # agree with the pipeline's dcache_misses
+                            l1d.hits -= 1
+                            l1d.misses += 1
+                            self.prefetch_late += 1
+                            return ready - cycle
                     return None
                 if mshr:
                     inflight = self._d_inflight
@@ -397,26 +429,82 @@ class MemorySystem:
                 pre.discard(line)
                 if self._l2_hit:
                     self.prefetch_useful_l2 += 1
-            self._issue_prefetches(pf, line)
+            self._issue_prefetches(pf, line, cycle)
         return lat
 
-    def _issue_prefetches(self, pf, line: int) -> None:
+    def _prefetch_latency(self, addr: int, cycle: int) -> int:
+        """Fill latency of one predicted line through the levels below
+        the L1s.  The DRAM trip of an L2-missing (or L2-less) prefetch
+        goes through :meth:`Dram.access` — it occupies the bank and
+        counts in the DRAM counters, which is exactly how prefetch
+        bandwidth gets priced against demand traffic.  Probes L2 with
+        ``contains`` (no demand counters, no LRU refresh) and installs
+        an L2-missing line into L2, keeping the hierarchy inclusive."""
+        l2 = self.l2
+        lat = 0
+        if l2 is not None:
+            lat = self.mcfg.l2_hit_latency
+            if l2.contains(addr):
+                return lat
+        dram = self.dram
+        if dram is not None:
+            lat += dram.access(addr, cycle + lat)
+        elif l2 is not None:
+            lat += l2.cfg.miss_penalty
+        else:
+            lat += self._d_miss_penalty
+        if l2 is not None:
+            l2.fill(addr)
+        return lat
+
+    def _issue_prefetches(self, pf, line: int, cycle: int) -> None:
         l1d = self.l1d
         l2 = self.l2
         shift = self._d_line_shift
         pre = self._prefetched
+        priced = self._priced_prefetch
+        inflight = self._d_inflight
         for pline in pf.predict(line):
             if pline < 0:
                 continue
             paddr = pline << shift
             if l1d.contains(paddr):
                 continue
-            l1d.fill(paddr)
-            if l2 is not None:
-                # Cache.fill is a no-op on resident lines, so this
-                # cannot refresh L2 replacement state for a line the
-                # prefetch did not install
-                l2.fill(paddr)
+            if priced:
+                # route the fill through the MSHR file: skip lines
+                # already being fetched, drop the prediction when the
+                # file is full (demand misses keep priority — they wait,
+                # predictions don't deserve to make them), and land the
+                # line only after its real latency
+                ready = inflight.get(pline)
+                if ready is not None and ready > cycle:
+                    continue
+                for ln in [
+                    ln for ln, r in inflight.items() if r <= cycle
+                ]:
+                    del inflight[ln]
+                if len(inflight) >= self._mshr:
+                    self.prefetch_dropped += 1
+                    continue
+                inflight[pline] = cycle + self._prefetch_latency(
+                    paddr, cycle
+                )
+                l1d.fill(paddr)
+                if self._wb_penalty and l1d.victim_line is not None:
+                    # the prefetch displaced a dirty line: its traffic
+                    # is posted below (no stall — nothing requested
+                    # this fill), so priced prefetches pay for the
+                    # evictions they cause, not just their own trips
+                    self._writeback(
+                        l1d.victim_line << shift, cycle, stall=False
+                    )
+            else:
+                l1d.fill(paddr)
+                if l2 is not None:
+                    # Cache.fill is a no-op on resident lines, so this
+                    # cannot refresh L2 replacement state for a line
+                    # the prefetch did not install
+                    l2.fill(paddr)
             self.prefetch_issued += 1
             pre.add(pline)
             if len(pre) > _PREFETCH_TRACK_LIMIT:
@@ -453,6 +541,8 @@ class MemorySystem:
                 "issued": self.prefetch_issued,
                 "useful": self.prefetch_useful,
                 "useful_l2": self.prefetch_useful_l2,
+                "late": self.prefetch_late,
+                "dropped": self.prefetch_dropped,
             }
         if self._mshr:
             out["mshr"] = {

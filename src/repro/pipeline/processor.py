@@ -138,9 +138,7 @@ class Processor:
         # observers (duck-typed; see repro.engine.hooks.SimHook).  An
         # empty tuple keeps the per-cycle dispatch guard falsy and free.
         self._hooks = tuple(hooks) if hooks else ()
-        self.engine = MergeEngine(
-            cfg, policy.merge, op_split=policy.split == "op"
-        )
+        self.engine = MergeEngine(cfg, policy.merge)
         self.priority = make_priority(self.params.priority, n_threads)
         self.rng = random.Random(self.params.seed)
         self.mem = MemorySystem(cfg, self.params.perfect_memory)

@@ -67,13 +67,29 @@ def test_parser_memory_flags():
     args = ap.parse_args(["run", "--memory", "l2"])
     assert args.memory == "l2"
     args = ap.parse_args(["run"])
-    assert args.memory == "paper"
+    # None defers to the session default (paper) without clobbering a
+    # --machine scenario's own memory block
+    assert args.memory is None and args.machine is None
     args = ap.parse_args(["sweep", "--memory", "paper", "l2+prefetch"])
     assert args.memory == ["paper", "l2+prefetch"]
     args = ap.parse_args(["mem", "--threads", "2"])
     assert args.command == "mem" and args.memory is None
     with pytest.raises(SystemExit):
         ap.parse_args(["run", "--memory", "l3"])
+
+
+def test_parser_machine_flags():
+    ap = build_parser()
+    args = ap.parse_args(["run", "--machine", "narrow+l2"])
+    assert args.machine == "narrow+l2"
+    args = ap.parse_args(["sweep", "--machine", "paper", "narrow"])
+    assert args.machine == ["paper", "narrow"]
+    args = ap.parse_args(["machine", "--machines", "paper", "wide"])
+    assert args.command == "machine" and args.machines == ["paper", "wide"]
+    args = ap.parse_args(["scenarios"])
+    assert args.command == "scenarios" and not args.verbose
+    args = ap.parse_args(["fig", "machine"])
+    assert args.number == "machine"
 
 
 def test_cli_run_memory_hierarchy(capsys):

@@ -278,11 +278,11 @@ def test_merging_miss_still_charges_dirty_victim_writeback():
     assert mem.dram.writes == 1
 
 
-def test_prefetch_reinstalled_inflight_line_counts_useful():
-    """Regression: a line whose demand fill is in flight can be evicted
-    and then re-installed by a prefetch; the demand hit that follows is
-    served by the prefetch and must be credited (not recounted as a
-    merge paying the stale residual)."""
+def test_priced_prefetch_skips_inflight_line():
+    """With MSHRs, a prefetch prediction for a line whose fill is
+    already in flight (here: a demand fill whose line got evicted) must
+    not issue a duplicate request — the existing MSHR already covers
+    it, and the demand access that follows merges into it."""
     tiny = CacheConfig(size_bytes=32, assoc=1, line_bytes=32,
                        miss_penalty=20)
     cfg = MachineConfig(
@@ -292,11 +292,87 @@ def test_prefetch_reinstalled_inflight_line_counts_useful():
     )
     mem = MemorySystem(cfg)
     mem.daccess(5 * 32, False, 0)  # line 5 in flight; prefetch 6 evicts 5
-    mem.daccess(4 * 32, False, 1)  # miss; its prefetch re-installs line 5
-    assert 5 in mem._prefetched
-    assert mem.daccess(5 * 32, False, 10) is None  # prefetch delivered
-    assert mem.prefetch_useful == 1
-    assert 5 not in mem._d_inflight  # stale MSHR entry dropped
+    dram_before = mem.dram.accesses
+    mem.daccess(4 * 32, False, 1)  # miss; its prefetch predicts line 5
+    assert 5 not in mem._prefetched  # prediction skipped, not reissued
+    # only the demand for line 4 went to DRAM
+    assert mem.dram.accesses == dram_before + 1
+    # the demand access merges into the original in-flight fill
+    assert mem.daccess(5 * 32, False, 10) == 50
+    assert mem.mshr_merges == 1
+
+
+def test_priced_prefetch_lands_after_latency_and_counts_late():
+    """With MSHRs, a predicted line allocates an MSHR and lands after
+    its real fill latency: a demand arriving earlier pays the residual
+    (late prefetch), one arriving later gets it free (useful)."""
+    cfg = machine(name="t", mshr=4, prefetch="nextline",
+                  prefetch_degree=2, dram=DramConfig(latency=60))
+    mem = MemorySystem(cfg)
+    mem.daccess(0 * 32, False, 0)  # miss; prefetches lines 1 and 2
+    assert mem.prefetch_issued == 2
+    assert mem._d_inflight[1] == 60 and mem._d_inflight[2] == 60
+    assert mem.dram.accesses == 3  # prefetch trips hit DRAM too
+    # demand for line 1 at cycle 20: fill in flight, pay the residual
+    misses_before = mem.l1d.misses
+    assert mem.daccess(1 * 32, False, 20) == 40
+    assert mem.prefetch_late == 1 and mem.prefetch_useful == 1
+    # the stalling access is recounted hit -> miss, like a demand
+    # secondary miss, so L1 counters agree with pipeline stalls
+    assert mem.l1d.misses == misses_before + 1
+    # demand for line 2 after the fill landed: free and useful
+    assert mem.daccess(2 * 32, False, 100) is None
+    assert mem.prefetch_useful == 2 and mem.prefetch_late == 1
+
+
+def test_priced_prefetch_posts_dirty_victim_writeback():
+    """A priced prefetch that displaces a dirty L1D line posts the
+    victim's traffic below (DRAM bank occupancy) without stalling
+    anyone — prefetches pay for the evictions they cause."""
+    tiny = CacheConfig(size_bytes=32, assoc=1, line_bytes=32,
+                       miss_penalty=20)
+    cfg = MachineConfig(
+        icache=L1, dcache=tiny,
+        memory=MemoryConfig(name="t", mshr=4, prefetch="nextline",
+                            writeback_penalty=3,
+                            dram=DramConfig(latency=10, n_banks=1,
+                                            bank_busy=8)),
+    )
+    mem = MemorySystem(cfg)
+    # the write miss installs dirty line 0; its own prefetch (line 1)
+    # then displaces it from the 1-set 1-way L1D
+    mem.daccess(0 * 32, True, 0)
+    assert mem.l1d.contains(1 * 32) and not mem.l1d.contains(0)
+    assert mem.wb_l1d == 1
+    assert mem.dram.writes == 1      # victim posted to the bank
+    assert mem.wb_stall_cycles == 0  # but nobody stalled for it
+
+
+def test_priced_prefetch_dropped_when_mshrs_full():
+    """A prediction arriving with every MSHR occupied is dropped —
+    demand misses keep priority over predictions."""
+    cfg = machine(name="t", mshr=1, prefetch="nextline",
+                  dram=DramConfig(latency=60))
+    mem = MemorySystem(cfg)
+    mem.daccess(0 * 32, False, 0)  # the only MSHR now holds line 0
+    assert mem.prefetch_dropped == 1  # line 1's prediction found it full
+    assert mem.prefetch_issued == 0
+    assert 1 not in mem._d_inflight and not mem.l1d.contains(1 * 32)
+
+
+def test_timeless_prefetch_unchanged_without_mshrs():
+    """Without MSHRs prefetches stay timeless: the predicted line is
+    simply present, no latency, no DRAM traffic."""
+    cfg = machine(name="t", prefetch="nextline",
+                  dram=DramConfig(latency=60))
+    mem = MemorySystem(cfg)
+    dram_after_miss = None
+    mem.daccess(0 * 32, False, 0)
+    dram_after_miss = mem.dram.accesses
+    assert mem.l1d.contains(1 * 32)
+    assert mem.dram.accesses == dram_after_miss  # no prefetch DRAM trip
+    assert mem.daccess(1 * 32, False, 1) is None
+    assert mem.prefetch_useful == 1 and mem.prefetch_late == 0
 
 
 def test_mshr_instruction_fetch_merges():
@@ -430,7 +506,7 @@ def test_prefetch_does_not_refresh_l2_replacement_state():
     mem.l2.access(2 * 32)
     mem.l1d.fill(2 * 32)
     # prefetch predicts line 0: absent in L1D, resident in L2
-    mem._issue_prefetches(mem.prefetcher, -1)
+    mem._issue_prefetches(mem.prefetcher, -1, 0)
     assert mem.prefetch_issued == 1
     assert mem.l1d.contains(0 * 32)
     # line 0 must still be the L2 LRU victim

@@ -201,19 +201,30 @@ def test_merge_engine_rejects_bad_level():
         MergeEngine(PAPER_MACHINE, "operation")
 
 
-def test_resync_after_partial_op_issue():
-    """After try_ops partially issues, the packed remaining must agree
-    with the scalar counters so later atomic checks stay exact."""
+def test_packed_remaining_exact_after_partial_op_issue():
+    """After try_ops partially issues, the packed remaining must equal
+    capacity minus everything issued so far, so later checks in the
+    same cycle (atomic or whole-instruction) stay exact."""
+    from repro.arch.resources import unpack_usage
+
     t = make_table([
         [(A, 0), (M, 0), (L, 0)],
         [(A, 0), (A, 0), (M, 0), (L, 0)],
         [(A, 0)],
     ])
     e = MergeEngine(PAPER_MACHINE, "op")
-    e.try_whole(pend(t, 0))
+    assert e.try_whole(pend(t, 0))  # 3 slots, 1 ALU, 1 MUL, 1 MEM
     p = pend(t, 1, split="op")
-    e.try_ops(p)
-    # remaining slots at cluster 0: 4 - 3 - issued
-    p2 = pend(t, 2)
-    fits = e.try_whole(p2)
-    assert fits == (e.slot_free[0] >= 0 and fits)
+    n, cmask, mem = e.try_ops(p)
+    # one slot was left at cluster 0: exactly one ALU op issues
+    assert n == 1 and cmask == 0b001 and mem == 0
+    assert unpack_usage(e.remaining, PAPER_MACHINE.n_clusters)[0] == (
+        0, 2, 1, 0
+    )
+    # no slots left at cluster 0: a whole instruction needing one must
+    # be rejected against the updated packed remaining
+    assert not e.try_whole(pend(t, 2))
+    # the other clusters are untouched
+    assert unpack_usage(e.remaining, PAPER_MACHINE.n_clusters)[1] == (
+        4, 4, 2, 1
+    )
