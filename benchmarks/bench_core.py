@@ -1,13 +1,17 @@
 #!/usr/bin/env python3
 """Tracked core-speed benchmark: cycles simulated per second.
 
-Measures the simulator's two run loops — the event-driven fast path
-(`Processor._run_fast`, bulk idle-cycle skipping) and the per-cycle
-reference loop (`Processor._run_reference`) — across a matrix of
-(policy x memory preset x thread count x machine scenario) scenarios,
-and writes the results to ``BENCH_core.json`` at the repository root.  Every scenario
-also cross-checks that both paths produce bit-identical ``SimStats``,
-so the benchmark doubles as an end-to-end equivalence smoke test.
+Measures the simulator's three run-loop tiers — the scenario-
+specialised codegen loop (`repro.pipeline.specialize`), the generic
+event-driven fast path (`Processor._run_fast`, bulk idle-cycle
+skipping) and the per-cycle reference loop (`Processor._run_reference`)
+— across a matrix of (policy x memory preset x thread count x machine
+scenario) scenarios, and writes the results to ``BENCH_core.json`` at
+the repository root.  Every scenario also cross-checks that all tiers
+produce bit-identical ``SimStats``, so the benchmark doubles as an
+end-to-end equivalence smoke test, and records which tier actually ran
+(``engine``) so a silent specialisation fallback shows up in the
+tracked artifact.
 
 Usage::
 
@@ -16,9 +20,9 @@ Usage::
     python benchmarks/bench_core.py --quick \
         --baseline benchmarks/BENCH_core.baseline.json
 
-With ``--baseline``, per-scenario fast-path throughput is compared
-against the committed baseline (matched by scenario label) and the
-script exits non-zero when any scenario regresses by more than
+With ``--baseline``, per-scenario specialised- and fast-path throughput
+is compared against the committed baseline (matched by scenario label)
+and the script exits non-zero when any scenario regresses by more than
 ``--fail-threshold`` (default 25%).  A missing baseline file skips the
 check by default (so the gate arms itself once a baseline is
 committed); with ``--require-baseline`` a missing file is a hard error
@@ -71,6 +75,11 @@ SCENARIOS = [
     ("membound-smt-1t", "SMT", "slow-dram", 1, ("mcf",), "paper"),
     ("membound-ccsi-2t", "CCSI AS", "slow-dram", 2, ("mcf", "bzip2"),
      "paper"),
+    # memory-bound multi-thread scenario: slow banked DRAM under a
+    # split-issue policy, so the specialised tier is speed-tracked in
+    # the stall-dominated regime too (not just paper-preset compute)
+    ("membound-oosi-4t", "OOSI AS", "slow-dram", 4,
+     ("mcf", "idct", "gsmencode", "colorspace"), "paper"),
     ("l2pf-ccsi-4t", "CCSI AS", "l2+prefetch", 4,
      ("mcf", "idct", "gsmencode", "colorspace"), "paper"),
     ("mshr-ccsi-2t", "CCSI AS", "mshr", 2, ("mcf", "bzip2"), "paper"),
@@ -96,9 +105,18 @@ def _time_run(proc: Processor):
     return time.perf_counter() - t0, stats
 
 
+#: run-loop tiers measured per scenario, mapped to Processor kwargs
+TIERS = {
+    "spec": {"run_loop": "auto"},
+    "fast": {"run_loop": "fast"},
+    "ref": {"force_reference": True},
+}
+
+
 def measure_scenario(label, policy_name, memory, n_threads, workload,
                      machine, quick: bool, reps: int) -> dict:
-    """Best-of-``reps`` wall time for both run loops on one scenario."""
+    """Best-of-``reps`` wall time for all run-loop tiers on one
+    scenario."""
     cfg = replace(get_scenario(machine).machine,
                   memory=get_memory_config(memory))
     policy = get_policy(policy_name)
@@ -106,30 +124,35 @@ def measure_scenario(label, policy_name, memory, n_threads, workload,
     params = _params(quick, machine)
 
     # untimed warm-up: populates the bundles' lazy per-rotation table
-    # caches so the timed repetitions measure the simulator, not
-    # one-off table construction
+    # caches (and the specialised-loop codegen memo) so the timed
+    # repetitions measure the simulator, not one-off construction
     Processor(policy, bundles, n_threads, cfg, params).run()
 
     best = {}
     stats = {}
-    for force_reference in (False, True):
+    engine = None
+    for tier, kwargs in TIERS.items():
         times = []
         for _ in range(reps):
             proc = Processor(
-                policy, bundles, n_threads, cfg, params,
-                force_reference=force_reference,
+                policy, bundles, n_threads, cfg, params, **kwargs
             )
             elapsed, s = _time_run(proc)
             times.append(elapsed)
-        best[force_reference] = min(times)
-        stats[force_reference] = s
+        best[tier] = min(times)
+        stats[tier] = s
+        if tier == "spec":
+            # which tier the "auto" dispatch actually took — a silent
+            # codegen fallback shows up here as "fast"
+            engine = proc.loop_used
 
-    fast, ref = stats[False], stats[True]
-    identical = fast.to_dict() == ref.to_dict()
+    spec, fast, ref = stats["spec"], stats["fast"], stats["ref"]
+    identical = (
+        spec.to_dict() == ref.to_dict() == fast.to_dict()
+    )
     if not identical:
-        print(f"!! {label}: fast and reference paths DIVERGED",
-              file=sys.stderr)
-    fast_s, ref_s = best[False], best[True]
+        print(f"!! {label}: run-loop tiers DIVERGED", file=sys.stderr)
+    spec_s, fast_s, ref_s = best["spec"], best["fast"], best["ref"]
     return {
         "label": label,
         "policy": policy_name,
@@ -137,21 +160,29 @@ def measure_scenario(label, policy_name, memory, n_threads, workload,
         "machine": machine,
         "n_threads": n_threads,
         "workload": list(workload),
+        "engine": engine,
         "cycles": fast.cycles,
         "instructions": fast.instructions,
         "vertical_waste_frac": round(fast.vertical_waste_frac, 4),
+        "spec_seconds": round(spec_s, 6),
         "fast_seconds": round(fast_s, 6),
         "ref_seconds": round(ref_s, 6),
+        "spec_cps": round(spec.cycles / spec_s, 1),
         "fast_cps": round(fast.cycles / fast_s, 1),
         "ref_cps": round(ref.cycles / ref_s, 1),
+        # fast path vs reference loop (PR 3's tracked ratio) ...
         "speedup": round(ref_s / fast_s, 3),
+        # ... and specialised loop vs fast path (this PR's)
+        "spec_speedup": round(fast_s / spec_s, 3),
         "identical": identical,
     }
 
 
 def check_baseline(scenarios: list[dict], baseline_path: Path,
                    threshold: float, require: bool = False) -> int:
-    """Exit code 0/1: fast-path throughput vs the committed baseline."""
+    """Exit code 0/1: specialised- and fast-path throughput vs the
+    committed baseline (metrics absent from either side are skipped, so
+    an old two-tier baseline still gates the fast path)."""
     if not baseline_path.exists():
         if require:
             print(f"FATAL: baseline {baseline_path} is missing but "
@@ -171,13 +202,16 @@ def check_baseline(scenarios: list[dict], baseline_path: Path,
         base = baseline.get(s["label"])
         if base is None:
             continue
-        floor = base["fast_cps"] * (1.0 - threshold)
-        verdict = "ok" if s["fast_cps"] >= floor else "REGRESSED"
-        print(f"{s['label']:18s} {s['fast_cps']:12.0f} cps "
-              f"(baseline {base['fast_cps']:.0f}, floor {floor:.0f}) "
-              f"{verdict}")
-        if s["fast_cps"] < floor:
-            failures.append(s["label"])
+        for metric in ("spec_cps", "fast_cps"):
+            if metric not in base or metric not in s:
+                continue
+            floor = base[metric] * (1.0 - threshold)
+            verdict = "ok" if s[metric] >= floor else "REGRESSED"
+            print(f"{s['label']:18s} {metric:8s} {s[metric]:12.0f} cps "
+                  f"(baseline {base[metric]:.0f}, floor {floor:.0f}) "
+                  f"{verdict}")
+            if s[metric] < floor:
+                failures.append(f"{s['label']}:{metric}")
     if failures:
         print(f"regression (> {threshold:.0%} below baseline) in: "
               f"{', '.join(failures)}", file=sys.stderr)
@@ -215,13 +249,17 @@ def main(argv=None) -> int:
         results.append(r)
         print(f"{label:18s} {r['policy']:8s} {r['memory']:11s} "
               f"{r['machine']:7s} nt={nt} cycles={r['cycles']:7d} "
-              f"fast={r['fast_cps']:12.0f} cps "
-              f"speedup={r['speedup']:5.2f}x "
+              f"spec={r['spec_cps']:12.0f} cps "
+              f"[{r['engine']}] "
+              f"fast x{r['speedup']:4.2f} "
+              f"spec x{r['spec_speedup']:4.2f}"
               f"{'' if r['identical'] else ' !! MISMATCH'}")
 
     report = {
-        # schema 2: scenarios carry a machine-scenario coordinate
-        "schema": 2,
+        # schema 3: three run-loop tiers (specialised codegen / fast /
+        # reference) with per-scenario engine provenance; schema 2
+        # added the machine-scenario coordinate
+        "schema": 3,
         "quick": args.quick,
         "reps": reps,
         "kernel_scale": KERNEL_SCALE,

@@ -328,18 +328,18 @@ def cmd_profile(args) -> int:
         max_cycles=scale.max_cycles,
         seed=scale.seed,
     )
+    engine = "reference" if args.reference else args.engine
     proc = Processor(
         get_policy(args.policy), bundles, args.threads, cfg, params,
-        force_reference=args.reference,
+        run_loop="auto" if engine == "specialized" else engine,
     )
     prof = cProfile.Profile()
     prof.enable()
     stats = proc.run()
     prof.disable()
-    path = "reference (per-cycle)" if args.reference else "fast-forward"
     print(f"# {args.policy} / {args.workload} / {args.threads}T / "
           f"{args.machine} / {args.memory or cfg.memory.name} — "
-          f"{path} loop")
+          f"{proc.loop_used} loop")
     print(f"# {stats.cycles} cycles, {stats.instructions} instructions, "
           f"IPC {stats.ipc:.2f}")
     ps = pstats.Stats(prof)
@@ -519,9 +519,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sort", default="cumulative",
                    choices=("cumulative", "tottime", "ncalls"),
                    help="pstats sort key (default: cumulative)")
+    p.add_argument("--engine", default="specialized",
+                   choices=("specialized", "fast", "reference"),
+                   help="run-loop tier to profile: the scenario-"
+                        "specialised codegen loop (default), the "
+                        "generic event-driven fast path, or the "
+                        "per-cycle reference loop "
+                        "(docs/performance.md)")
     p.add_argument("--reference", action="store_true",
-                   help="profile the per-cycle reference loop instead "
-                        "of the fast-forward path")
+                   help="shorthand for --engine reference")
     p.set_defaults(func=cmd_profile)
 
     return ap

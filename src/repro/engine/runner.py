@@ -19,23 +19,33 @@ from dataclasses import replace
 from ..pipeline.stats import SimStats
 
 #: One worker task: everything needed to reproduce a cell from scratch.
-#: (policy_name, member_names, n_threads, scale, cfg, reference) — the
-#: cfg already carries the cell's machine- and memory-scenario
-#: coordinates and the scale its machine-rescaled timeslice;
-#: ``reference`` forwards the session's run-loop choice (results are
-#: bit-identical either way, but a reference session must honour its
-#: contract).
+#: (policy_name, member_names, n_threads, scale, cfg, reference,
+#: run_loop, spec_src) — the cfg already carries the cell's machine-
+#: and memory-scenario coordinates and the scale its machine-rescaled
+#: timeslice; ``reference``/``run_loop`` forward the session's run-loop
+#: choice (results are bit-identical across tiers, but the session must
+#: honour its contract); ``spec_src`` is the parent's pre-warmed
+#: ``(loop_key, source)`` specialisation payload, or ``None`` —
+#: compiled code objects do not pickle, so workers ship *source* and
+#: compile locally.
 _CellPayload = tuple
 
 
 def _simulate_cell(payload: _CellPayload) -> dict:
     """Pool worker: run one matrix cell, return serialized stats."""
-    policy_name, members, n_threads, scale, cfg, reference = payload
+    (policy_name, members, n_threads, scale, cfg, reference, run_loop,
+     spec_src) = payload
     # Import here so fork-less start methods (spawn) stay cheap until
     # a task actually runs.
     from .session import SimulationSession
 
-    session = SimulationSession(scale=scale, cfg=cfg, reference=reference)
+    if spec_src is not None:
+        from ..pipeline import specialize
+
+        specialize.adopt_source(*spec_src)
+    session = SimulationSession(
+        scale=scale, cfg=cfg, reference=reference, run_loop=run_loop
+    )
     stats = session.run(policy_name, members, n_threads)
     return stats.to_dict()
 
@@ -83,6 +93,12 @@ def run_matrix(
             memory = spec[3] if len(spec) > 3 else None
             machine = spec[4] if len(spec) > 4 else None
             params = session.params(machine)
+            # pre-warm the specialised-loop source once per distinct
+            # cell shape in the parent (the generator memoises by loop
+            # key, so repeated shapes are free) and ship it as text
+            spec_src = session.prewarm_specialization(
+                spec[0], spec[1], spec[2], memory, machine
+            )
             payloads.append(
                 (
                     spec[0],
@@ -93,6 +109,8 @@ def run_matrix(
                     replace(session.scale, timeslice=params.timeslice),
                     session.resolve_cfg(memory, machine),
                     session.reference,
+                    session.run_loop,
+                    spec_src,
                 )
             )
         with ProcessPoolExecutor(max_workers=jobs) as pool:

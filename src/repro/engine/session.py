@@ -28,7 +28,7 @@ from ..arch.config import MachineConfig, PAPER_MACHINE, get_memory_config
 from ..arch.scenarios import get_scenario
 from ..core.policies import ALL_POLICIES, Policy, get_policy
 from ..kernels.suite import get_trace
-from ..pipeline.processor import Processor, SimParams
+from ..pipeline.processor import Processor, RUN_LOOPS, SimParams
 from ..pipeline.stats import SimStats
 from ..pipeline.trace import TraceBundle
 from .cache import ResultCache, cache_key
@@ -83,6 +83,7 @@ class SimulationSession:
         memory: str | None = None,
         machine: str | None = None,
         reference: bool = False,
+        run_loop: str = "auto",
     ):
         if machine is not None:
             # a machine scenario supplies the whole config (its own
@@ -100,6 +101,15 @@ class SimulationSession:
         #: event-driven fast path (``docs/performance.md``).  Results
         #: are bit-identical, so cached entries are shared either way.
         self.reference = reference
+        #: run-loop tier handed to every Processor this session builds
+        #: ("auto" = specialised codegen loop with ``_run_fast``
+        #: fallback; see :data:`~repro.pipeline.processor.RUN_LOOPS`);
+        #: ``reference=True`` still wins via ``force_reference``
+        if run_loop not in RUN_LOOPS:
+            raise ValueError(
+                f"run_loop must be one of {RUN_LOOPS}, got {run_loop!r}"
+            )
+        self.run_loop = run_loop
         self.cache = ResultCache(cache_dir) if cache_dir else None
         self._memo: dict[tuple, SimStats] = {}
         #: machine configs resolved per (machine preset, memory preset)
@@ -254,11 +264,52 @@ class SimulationSession:
                 params,
                 hooks=self.hooks,
                 force_reference=self.reference,
+                run_loop=self.run_loop,
             )
             stats = proc.run()
             self.simulations += 1
             self.adopt(policy, members, n_threads, stats, memory, machine)
         return stats
+
+    def prewarm_specialization(
+        self,
+        policy: Policy | str,
+        workload,
+        n_threads: int,
+        memory: str | None = None,
+        machine: str | None = None,
+    ) -> tuple | None:
+        """Generate + compile the specialised run loop for one cell in
+        *this* process and return the picklable ``(key, source)``
+        payload a pool worker installs with
+        :func:`repro.pipeline.specialize.adopt_source` — workers then
+        compile shipped source instead of re-deriving it (code objects
+        do not pickle).  Returns ``None`` when the session's run-loop
+        tier never specialises or generation failed (workers fall back
+        exactly like the parent would)."""
+        if self.run_loop in ("fast", "reference") or self.reference:
+            return None
+        from ..pipeline import specialize
+
+        policy, members, cfg, params, _ = self._cell(
+            policy, workload, n_threads, memory, machine
+        )
+        try:
+            key, src = specialize.source_for(
+                policy, cfg, params, n_threads, len(members)
+            )
+            if (
+                specialize.get_specialized_loop(
+                    policy, cfg, params, n_threads, len(members)
+                )
+                is None
+            ):
+                return None
+        except Exception:
+            if specialize.STRICT:
+                raise
+            return None
+        return key, src
 
     def lookup(
         self,
@@ -357,7 +408,7 @@ class SimulationSession:
 
             proc = Processor(
                 SMT, [bundle], 1, self.cfg, params, hooks=self.hooks,
-                force_reference=self.reference,
+                force_reference=self.reference, run_loop=self.run_loop,
             )
             stats = proc.run()
             self.simulations += 1

@@ -37,8 +37,16 @@ from ..core.priority import make_priority
 from ..core.renaming import renaming_vector
 from ..core.splitstate import PendingInstruction
 from ..memory.hierarchy import MemorySystem
+from .specialize import get_specialized_loop
 from .stats import BenchStats, SimStats
 from .trace import TraceBundle
+
+#: valid ``Processor(run_loop=...)`` values — "auto" and "specialized"
+#: both try the generated loop first and fall back to the fast path
+RUN_LOOPS = ("auto", "specialized", "fast", "reference")
+
+#: sentinel: specialised loop not yet resolved for this processor
+_UNRESOLVED = object()
 
 
 @dataclass
@@ -121,9 +129,14 @@ class Processor:
         params: SimParams | None = None,
         hooks=None,
         force_reference: bool = False,
+        run_loop: str = "auto",
     ):
         if n_threads < 1:
             raise ValueError("need at least one hardware thread")
+        if run_loop not in RUN_LOOPS:
+            raise ValueError(
+                f"run_loop must be one of {RUN_LOOPS}, got {run_loop!r}"
+            )
         self.cfg = cfg
         self.policy = policy
         # hoisted out of the per-cycle loop
@@ -133,6 +146,15 @@ class Processor:
         #: reference loop even without hooks (results are bit-identical
         #: either way, so this never affects cache identity)
         self.force_reference = force_reference
+        #: requested tier ("auto"/"specialized" try codegen first);
+        #: must not change between ``run()`` calls on one instance —
+        #: the specialised loop and ``_run_fast`` represent in-flight
+        #: pending instructions differently
+        self.run_loop = run_loop
+        #: tier the last ``run()`` actually took:
+        #: "specialized" | "fast" | "reference"
+        self.loop_used: str | None = None
+        self._loop_fn = _UNRESOLVED
         self.params = params or SimParams()
         self.n_threads = n_threads
         # observers (duck-typed; see repro.engine.hooks.SimHook).  An
@@ -393,14 +415,39 @@ class Processor:
         """Simulate until a benchmark hits the instruction target (or
         ``max_cycles``).  Returns the statistics object.
 
-        Dispatches to the event-driven fast path (bulk idle-cycle
-        skipping, see :meth:`_run_fast`) unless hooks are installed —
-        ``on_cycle`` must fire every cycle, so a hooked run takes the
-        per-cycle reference loop.  Both paths produce bit-identical
-        :class:`SimStats`.
+        Three-tier dispatch, all tiers bit-identical:
+
+        1. **specialized** — a scenario-monomorphic loop generated by
+           :mod:`repro.pipeline.specialize` (constants inlined, dead
+           branches deleted); the default when no hooks are installed.
+        2. **fast** — :meth:`_run_fast`, the event-driven generic loop
+           (also the silent fallback when generation fails).
+        3. **reference** — :meth:`_run_reference`, the per-cycle
+           oracle; forced by hooks (``on_cycle`` must fire every
+           cycle) and by ``force_reference``/``run_loop="reference"``.
+
+        The tier taken is recorded in :attr:`loop_used`.
         """
-        if self._hooks or self.force_reference:
+        if (
+            self._hooks
+            or self.force_reference
+            or self.run_loop == "reference"
+        ):
+            self.loop_used = "reference"
             return self._run_reference(max_cycles, stop_on_target)
+        if self.run_loop != "fast":
+            if self._loop_fn is _UNRESOLVED:
+                self._loop_fn = get_specialized_loop(
+                    self.policy,
+                    self.cfg,
+                    self.params,
+                    self.n_threads,
+                    len(self.benches),
+                )
+            if self._loop_fn is not None:
+                self.loop_used = "specialized"
+                return self._loop_fn(self, max_cycles, stop_on_target)
+        self.loop_used = "fast"
         return self._run_fast(max_cycles, stop_on_target)
 
     def _run_reference(

@@ -1,0 +1,712 @@
+"""Scenario-specialised run-loop code generation.
+
+The fast path (:meth:`Processor._run_fast`) still re-evaluates per
+cycle a pile of facts that are constants once a scenario is resolved:
+the split level, the merge level, the memory class (flat vs
+hierarchical, blocking vs MSHR), whether multitasking is on, the
+priority rotation, and every scenario parameter (timeslice, penalties,
+packed capacities, the instruction target).  This module generates the
+*source* of a monomorphic run loop for one resolved
+``(policy, machine, memory, n_threads)`` cell:
+
+* scenario constants (timeslice, packed issue capacity, SWAR guard
+  mask, priority orders, branch/miss penalties, target) are inlined as
+  literals;
+* structurally-dead branches are deleted at generation time — a
+  single-benchmark run carries no scheduler block, a flat-memory run
+  calls ``l1.access`` directly instead of the hierarchy walker, an AS
+  policy carries no ICC-atomicity branch, a no-split policy carries no
+  buffered-store/commit machinery at all;
+* the per-thread priority rotation is precomputed into tuples of
+  *thread objects*, so the inner loop never indexes ``threads[t]``;
+* the :class:`~repro.core.splitstate.PendingInstruction` state machine
+  is flattened into a plain list (``[i, ops_remaining, was_split,
+  buffered_store_mask, extra]`` — ``extra`` is the pending cluster
+  mask under cluster split and the pending-ops list under op split; a
+  bare static index suffices for no-split policies), eliminating one
+  object construction per fetched instruction.
+
+The generated function is ``compile()``d/``exec``d once and memoised
+by :func:`loop_key` — policy shape + :func:`machine_fingerprint` (the
+same canonical hash the disk cache keys on) + the scenario parameters
+the source inlines.  Generation failures are memoised as ``None`` so
+:meth:`Processor.run` falls back to ``_run_fast`` silently (set
+``REPRO_SPECIALIZE_STRICT=1`` to re-raise instead, e.g. in CI).
+
+Process-pool sweeps cannot pickle code objects, so workers ship
+*source*: the parent pre-warms :func:`source_for` per distinct cell
+and the worker installs the text with :func:`adopt_source` before its
+first ``run()`` (see ``repro.engine.runner``).
+
+Bit-identity with ``_run_reference`` across the full policy × machine
+× memory × thread matrix is enforced by ``tests/test_specialize.py``;
+the semantics replicated here are exactly those of ``_run_fast``
+(itself gated against the reference loop), fragment by fragment.
+"""
+
+from __future__ import annotations
+
+import os
+import textwrap
+
+from ..arch.config import MachineConfig
+from ..arch.resources import capacity_packed, guards_mask
+from ..arch.scenarios import machine_fingerprint
+from ..core.policies import Policy
+from ..core.priority import make_priority
+
+#: name of the generated function inside its module namespace
+LOOP_NAME = "__specialized_loop"
+
+#: re-raise generation/compilation failures instead of falling back
+STRICT = bool(os.environ.get("REPRO_SPECIALIZE_STRICT"))
+
+_sources: dict[tuple, str] = {}
+_loops: dict[tuple, object] = {}
+_stats = {"hits": 0, "misses": 0, "failures": 0}
+
+
+def cache_info() -> dict:
+    """Memo counters (for tests and diagnostics)."""
+    return dict(_stats, compiled=len(_loops), sources=len(_sources))
+
+
+def clear_cache() -> None:
+    _sources.clear()
+    _loops.clear()
+    _stats.update(hits=0, misses=0, failures=0)
+
+
+def loop_key(
+    policy: Policy,
+    cfg: MachineConfig,
+    params,
+    n_threads: int,
+    n_benches: int,
+) -> tuple:
+    """Memo key: everything the generated source inlines.
+
+    Machine content is folded through :func:`machine_fingerprint` (the
+    canonical scenario hash the disk cache keys on), so two config
+    objects that are field-for-field equal share one compiled loop.
+    """
+    return (
+        policy.merge,
+        policy.split,
+        policy.comm_split,
+        machine_fingerprint(cfg),
+        n_threads,
+        n_benches > 1,
+        params.priority,
+        params.timeslice,
+        params.target_instructions,
+        params.max_cycles,
+        bool(params.perfect_memory),
+    )
+
+
+def source_for(
+    policy: Policy,
+    cfg: MachineConfig,
+    params,
+    n_threads: int,
+    n_benches: int,
+) -> tuple[tuple, str]:
+    """``(key, source)`` for one cell, generating and memoising the
+    source if needed.  This is the pool-payload entry point: the tuple
+    is picklable and the worker side installs it with
+    :func:`adopt_source`."""
+    key = loop_key(policy, cfg, params, n_threads, n_benches)
+    src = _sources.get(key)
+    if src is None:
+        src = generate_loop_source(policy, cfg, params, n_threads, n_benches)
+        _sources[key] = src
+    return key, src
+
+
+def adopt_source(key, source: str) -> None:
+    """Install pre-generated source shipped from another process."""
+    _sources.setdefault(tuple(key), source)
+
+
+def get_specialized_loop(
+    policy: Policy,
+    cfg: MachineConfig,
+    params,
+    n_threads: int,
+    n_benches: int,
+):
+    """Compiled monomorphic loop for one cell, or ``None`` if
+    generation failed (the caller then uses ``_run_fast``).  Both
+    outcomes are memoised by :func:`loop_key`."""
+    key = loop_key(policy, cfg, params, n_threads, n_benches)
+    if key in _loops:
+        _stats["hits"] += 1
+        return _loops[key]
+    _stats["misses"] += 1
+    try:
+        src = _sources.get(key)
+        if src is None:
+            src = generate_loop_source(
+                policy, cfg, params, n_threads, n_benches
+            )
+            _sources[key] = src
+        label = (
+            f"<specialized {policy.merge}-merge/{policy.split}-split"
+            f" nt={n_threads}>"
+        )
+        ns: dict = {}
+        exec(compile(src, label, "exec"), ns)
+        fn = ns[LOOP_NAME]
+    except Exception:
+        if STRICT:
+            raise
+        _stats["failures"] += 1
+        fn = None
+    _loops[key] = fn
+    return fn
+
+
+# ---------------------------------------------------------------- codegen
+def _block(text: str, indent: int) -> str:
+    """Dedent a template fragment and re-indent it to ``indent``."""
+    body = textwrap.dedent(text).strip("\n")
+    pad = " " * indent
+    return "\n".join(
+        pad + ln if ln.strip() else "" for ln in body.splitlines()
+    )
+
+
+def _dd(text: str) -> str:
+    """Dedent a template fragment to column zero."""
+    return textwrap.dedent(text).strip("\n")
+
+
+def generate_loop_source(
+    policy: Policy,
+    cfg: MachineConfig,
+    params,
+    n_threads: int,
+    n_benches: int,
+) -> str:
+    """Emit the source of the monomorphic run loop for one cell."""
+    split = policy.split
+    if split not in ("none", "cluster", "op"):
+        raise ValueError(f"unknown split level {split!r}")
+    if policy.merge not in ("op", "cluster"):
+        raise ValueError(f"unknown merge level {policy.merge!r}")
+    op_merge = policy.merge == "op"
+    comm_split = policy.comm_split
+    perfect = bool(params.perfect_memory)
+    flat = perfect or cfg.memory.is_flat
+    nonblocking = cfg.memory.mshr > 0 and not perfect
+    timeslice = params.timeslice
+    multi = n_benches > 1 and timeslice > 0
+    orders = make_priority(params.priority, n_threads).orders
+    guards = guards_mask(cfg.n_clusters)
+    capacity = capacity_packed(cfg)
+    iline_shift = cfg.icache.line_bytes.bit_length() - 1
+    tp = cfg.taken_branch_penalty
+
+    # ---- small literal fragments --------------------------------------
+    fetch_at_expr = (
+        f"cycle + ({1 + tp} if taken else 1)" if tp else "cycle + 1"
+    )
+    # Retire bookkeeping, assuming ``bstats`` is already in a local
+    # (the issue path loads it once for the operations counter and the
+    # retire shares it).  Callers that retire without issuing prepend
+    # the load; callers with live pending state prepend the clear.
+    retire_tail = _dd(f"""
+        pos = bench.pos
+        taken = th.taken[pos]
+        th.fetch_at = {fetch_at_expr}
+        bench.pos = pos = pos + 1
+        bstats.instructions += 1
+        instructions += 1
+        if bstats.instructions >= {params.target_instructions}:
+            target_hit = True
+        if pos >= bench.bundle.length:
+            bench.pos = 0
+            bstats.respawns += 1
+            th.last_iline = -1
+        if taken:
+            th.last_iline = -1
+    """)
+    retire_full = "bstats = bench.stats\n" + retire_tail
+    commit_retire = "th.pend = None\n" + retire_tail
+
+    if flat:
+        ifetch = f"""
+            if not l1i_access(pc):
+                icache_misses += 1
+                th.fetch_at = cycle + {cfg.icache.miss_penalty}
+                continue
+        """
+    else:
+        ifetch = """
+            lat = iaccess(pc, cycle)
+            if lat is not None:
+                icache_misses += 1
+                th.fetch_at = cycle + lat
+                continue
+        """
+
+    # The data probe is unrolled over clusters: each cluster gets a
+    # literal mask test, so the generic bit-scan loop (shift + counter
+    # per cluster) disappears.  ``Cache.access`` only ever uses
+    # ``is_write`` for truthiness, so the flat path passes the raw mask
+    # bit and skips the ``bool()`` call.
+    probe_blocks = []
+    for c in range(cfg.n_clusters):
+        bit = 1 << c
+        if flat:
+            miss = f"""
+            if not l1d_access(addr, store_mask & {bit}):
+                dcache_misses += 1
+                penalty += {cfg.dcache.miss_penalty}
+            """
+        elif nonblocking:
+            # MSHRs: misses all issue at ``cycle`` and overlap; the
+            # thread stalls for the slowest
+            miss = f"""
+            lat = daccess(addr, bool(store_mask & {bit}), cycle)
+            if lat is not None:
+                dcache_misses += 1
+                if lat > penalty:
+                    penalty = lat
+            """
+        else:
+            # blocking caches: misses serialise — each later miss
+            # starts after the accumulated penalty
+            miss = f"""
+            lat = daccess(addr, bool(store_mask & {bit}), cycle + penalty)
+            if lat is not None:
+                dcache_misses += 1
+                penalty += lat
+            """
+        probe_blocks.append(
+            _dd(f"""
+            if mem & {bit}:
+                addr = row[{c}]
+                if addr >= 0:
+                    dcache_accesses += 1
+{_block(miss, 20)}
+            """)
+        )
+    dprobe = "\n".join(
+        [
+            "row = th.addr_rows[bench.pos]",
+            "store_mask = table.store_cmask[i]",
+            "penalty = 0",
+            *probe_blocks,
+            _dd("""
+            if penalty:
+                su = cycle + 1 + penalty
+                if su > th.stall_until:
+                    th.stall_until = su
+            """),
+        ]
+    )
+
+    fetch_guard = (
+        "if switching or cycle < th.fetch_at:"
+        if multi
+        else "if cycle < th.fetch_at:"
+    )
+
+    # ---- per-thread issue pass (three structural variants) ------------
+    if split == "none":
+
+        def merge_whole(fail: str) -> str:
+            """Whole-instruction merge; ``fail`` runs on a conflict."""
+            if op_merge:
+                return _dd(f"""
+                left = (e_remaining | {guards}) - table.packed[i]
+                if left & {guards} != {guards}:
+{_block(fail, 20)}
+                e_remaining = left ^ {guards}
+                """)
+            return _dd(f"""
+            cm = table.cmask[i]
+            if cm & e_used:
+{_block(fail, 16)}
+            e_used |= cm
+            """)
+
+        def issue_retire(clear_pend: bool) -> str:
+            clear = "th.pend = None\n" if clear_pend else ""
+            return _dd(f"""
+            ops_this_cycle += n
+            threads_contributing += 1
+            bstats = bench.stats
+            bstats.operations += n
+            mem = table.mem_cmask[i]
+            if mem:
+{_block(dprobe, 16)}
+            """) + "\n" + clear + retire_tail
+
+        park_pend = "th.pend = i\ncontinue"
+
+        # No-split: an instruction merges whole or not at all, so it
+        # never buffers stores, never splits, and retires the cycle it
+        # issues; a bare static index is the whole pending state.  The
+        # fetch and retry paths are separate copies so the common case
+        # (fetch, issue, retire in one cycle) never touches ``th.pend``
+        # at all — the store only happens on a merge conflict, and the
+        # retry path knows ``nops >= 1`` (empty instructions retire at
+        # fetch and conflicts only arise inside the ``if n:`` arm).
+        thread_body = f"""
+        bench = th.bench
+        if bench is None or cycle < th.stall_until:
+            continue
+        table = th.table
+        i = th.pend
+        if i is None:
+            {fetch_guard}
+                continue
+            i = th.idx[bench.pos]
+            pc = table.pc[i]
+            line = pc >> {iline_shift}
+            if line != th.last_iline:
+                th.last_iline = line
+                icache_accesses += 1
+{_block(ifetch, 16)}
+            n = table.nops[i]
+            if n:
+{_block(merge_whole(park_pend), 16)}
+{_block(issue_retire(False), 16)}
+            else:
+{_block(retire_full, 16)}
+        else:
+            n = table.nops[i]
+{_block(merge_whole("continue"), 12)}
+{_block(issue_retire(True), 12)}
+        """
+    else:
+        # split policies share one pending-list layout:
+        #   [static_index, ops_remaining, was_split, buffered_stores,
+        #    extra]   (extra: pending cluster mask | pending-ops list)
+        if split == "cluster":
+            make_pend = "pend = th.pend = [i, n, False, 0, table.cmask[i]]"
+            if op_merge:
+                merge_part = f"""
+                pm = pend[4]
+                b_packed = table.bundle_packed[i]
+                b_nops = table.bundle_nops[i]
+                avail = 0
+                n = 0
+                m = pm
+                c = 0
+                while m:
+                    if m & 1:
+                        left = (e_remaining | {guards}) - b_packed[c]
+                        if left & {guards} == {guards}:
+                            e_remaining = left ^ {guards}
+                            avail |= 1 << c
+                            n += b_nops[c]
+                    m >>= 1
+                    c += 1
+                if not avail:
+                    continue
+                mem = table.mem_cmask[i] & avail
+                e_mem_used |= mem
+                rem = pend[1] - n
+                pend[1] = rem
+                pm &= ~avail
+                pend[4] = pm
+                if pm:
+                    pend[2] = True
+                """
+            else:
+                merge_part = """
+                avail = pend[4] & ~e_used
+                if not avail:
+                    continue
+                b_nops = table.bundle_nops[i]
+                n = 0
+                m = avail
+                c = 0
+                while m:
+                    if m & 1:
+                        n += b_nops[c]
+                    m >>= 1
+                    c += 1
+                e_used |= avail
+                mem = table.mem_cmask[i] & avail
+                e_mem_used |= mem
+                rem = pend[1] - n
+                pend[1] = rem
+                pm = pend[4] & ~avail
+                pend[4] = pm
+                if pm:
+                    pend[2] = True
+                """
+        else:  # op-level split (always op-level merge)
+            make_pend = (
+                "pend = th.pend = [i, n, False, 0, list(table.ops_desc[i])]"
+            )
+            merge_part = f"""
+            rem0 = pend[1]
+            still = []
+            n = 0
+            mem = 0
+            for desc in pend[4]:
+                c, fu, is_mem = desc
+                left = (e_remaining | {guards}) - op_usage[c][fu]
+                if left & {guards} == {guards}:
+                    e_remaining = left ^ {guards}
+                    if is_mem:
+                        mem |= 1 << c
+                    n += 1
+                else:
+                    still.append(desc)
+            pend[4] = still
+            if not n:
+                continue
+            e_mem_used |= mem
+            rem = rem0 - n
+            pend[1] = rem
+            if rem0 > 1:
+                pend[2] = True
+            """
+
+        if comm_split:
+            merge = merge_part
+        else:
+            # NS: instructions with inter-cluster communication issue
+            # atomically.  An atomic issue always empties the pending
+            # state, so the instruction retires this cycle and the
+            # per-part bookkeeping writes are dead.
+            if op_merge:
+                atomic_check = f"""
+                left = (e_remaining | {guards}) - table.packed[i]
+                if left & {guards} != {guards}:
+                    continue
+                e_remaining = left ^ {guards}
+                """
+            else:
+                atomic_check = """
+                if pend[4] & e_used:
+                    continue
+                e_used |= pend[4]
+                """
+            merge = f"""
+            if table.icc[i]:
+{_block(atomic_check, 16)}
+                n = pend[1]
+                mem = table.mem_cmask[i]
+                e_mem_used |= mem
+                rem = 0
+            else:
+{_block(merge_part, 16)}
+            """
+
+        thread_body = f"""
+        bench = th.bench
+        if bench is None or cycle < th.stall_until:
+            continue
+        table = th.table
+        pend = th.pend
+        if pend is None:
+            {fetch_guard}
+                continue
+            i = th.idx[bench.pos]
+            pc = table.pc[i]
+            line = pc >> {iline_shift}
+            if line != th.last_iline:
+                th.last_iline = line
+                icache_accesses += 1
+{_block(ifetch, 16)}
+            n = table.nops[i]
+            if not n:
+{_block(retire_full, 16)}
+                continue
+            {make_pend}
+        else:
+            i = pend[0]
+{_block(merge, 8)}
+        ops_this_cycle += n
+        threads_contributing += 1
+        bstats = bench.stats
+        bstats.operations += n
+        if mem:
+{_block(dprobe, 12)}
+        if rem:
+            if mem:
+                sm = store_mask & mem
+                if sm:
+                    pend[3] |= sm
+        else:
+            bsm = pend[3]
+            if bsm:
+                stall_extra += (bsm & e_mem_used).bit_count()
+                e_mem_used |= bsm
+            if pend[2]:
+                split_instructions += 1
+{_block(commit_retire, 12)}
+        """
+
+    # ---- per-cycle framing --------------------------------------------
+    resets = []
+    if op_merge:
+        resets.append(f"e_remaining = {capacity}")
+    if split == "none":
+        if not op_merge:
+            resets.append("e_used = 0")
+    else:
+        if not op_merge:
+            resets.append("e_used = 0")
+        resets.append("e_mem_used = 0")
+        resets.append("stall_extra = 0")
+    cycle_resets = "\n".join(" " * 8 + r for r in resets)
+
+    setup = [
+        "stats = proc.stats",
+        "threads = proc.threads",
+        "mem_sys = proc.mem",
+        "packet_threads = stats.packet_threads",
+        "pt_get = packet_threads.get",
+        "fast_forward = proc._fast_forward",
+    ]
+    if flat:
+        setup += [
+            "l1i_access = mem_sys.l1i.access",
+            "l1d_access = mem_sys.l1d.access",
+        ]
+    else:
+        setup += ["iaccess = mem_sys.iaccess", "daccess = mem_sys.daccess"]
+    if split == "op":
+        setup.append("op_usage = proc.engine._op_usage")
+    if len(orders) == 1:
+        objs = ", ".join(f"threads[{t}]" for t in orders[0])
+        setup.append(f"thread_order = ({objs},)")
+        order_expr = "thread_order"
+    else:
+        tabs = ",\n        ".join(
+            "(" + ", ".join(f"threads[{t}]" for t in o) + ",)"
+            for o in orders
+        )
+        setup.append(f"order_tabs = (\n        {tabs},\n    )")
+        n = len(orders)
+        sel = f"cycle & {n - 1}" if n & (n - 1) == 0 else f"cycle % {n}"
+        order_expr = f"order_tabs[{sel}]"
+    setup_src = "\n".join(" " * 4 + s for s in setup)
+
+    if multi:
+        scheduler = f"""
+        if cycle >= next_switch:
+            if not switching:
+                switching = True
+            for th in threads:
+                if th.pend is not None:
+                    break
+            else:
+                proc._context_switch(cycle)
+                next_switch = cycle + {timeslice}
+                switching = False
+        """
+        sched_src = _block(scheduler, 8)
+        switch_init = (
+            f"    switching = False\n    next_switch = {timeslice}\n"
+        )
+        ff_call = (
+            "cycle, switching, next_switch = fast_forward(\n"
+            "                cycle, end_cycle, switching, next_switch, "
+            f"True, {timeslice}\n"
+            "            )"
+        )
+    else:
+        sched_src = ""
+        switch_init = ""
+        ff_call = (
+            "cycle = fast_forward(\n"
+            "                cycle, end_cycle, False, 0, False, 0\n"
+            "            )[0]"
+        )
+
+    flush = [
+        "stats.operations += operations",
+        "stats.instructions += instructions",
+        "stats.vertical_waste += vertical_waste",
+        "stats.icache_accesses += icache_accesses",
+        "stats.icache_misses += icache_misses",
+        "stats.dcache_accesses += dcache_accesses",
+        "stats.dcache_misses += dcache_misses",
+    ]
+    if split != "none":
+        flush += [
+            "stats.stall_cycles += stall_cycles",
+            "stats.split_instructions += split_instructions",
+        ]
+    flush += [
+        "proc._target_hit = target_hit",
+        "stats.cycles = cycle",
+        "stats.memory = mem_sys.stats_dict()",
+        "return stats",
+    ]
+    flush_src = "\n".join(" " * 4 + f for f in flush)
+
+    split_locals = (
+        "    stall_cycles = 0\n    split_instructions = 0\n"
+        if split != "none"
+        else ""
+    )
+    stall_account = (
+        ""
+        if split == "none"
+        else _block(
+            """
+        if stall_extra:
+            cycle += stall_extra
+            stall_cycles += stall_extra
+            vertical_waste += stall_extra
+        """,
+            8,
+        )
+    )
+
+    header = (
+        f"# generated by repro.pipeline.specialize for "
+        f"{policy.merge}-merge/{split}-split"
+        f"{'' if comm_split else ' (NS atomic ICC)'},"
+        f" nt={n_threads}, "
+        f"{'flat' if flat else ('mshr' if nonblocking else 'hier')} memory"
+        f"{', multitasking' if multi else ''}\n"
+    )
+
+    return f"""{header}
+def {LOOP_NAME}(proc, max_cycles=None, stop_on_target=True):
+{setup_src}
+    target_hit = proc._target_hit
+    operations = 0
+    instructions = 0
+    vertical_waste = 0
+{split_locals}    icache_accesses = 0
+    icache_misses = 0
+    dcache_accesses = 0
+    dcache_misses = 0
+    limit = max_cycles if max_cycles is not None else {params.max_cycles}
+{switch_init}    cycle = stats.cycles
+    end_cycle = cycle + limit
+    while cycle < end_cycle:
+        ops_this_cycle = 0
+        threads_contributing = 0
+{cycle_resets}
+        for th in {order_expr}:
+{_block(thread_body, 12)}
+        operations += ops_this_cycle
+        if ops_this_cycle == 0:
+            vertical_waste += 1
+        else:
+            packet_threads[threads_contributing] = (
+                pt_get(threads_contributing, 0) + 1
+            )
+        cycle += 1
+{stall_account}
+{sched_src}
+        if stop_on_target and target_hit:
+            break
+        if ops_this_cycle == 0 and cycle < end_cycle:
+            {ff_call}
+{flush_src}
+"""

@@ -28,8 +28,17 @@ from repro.pipeline.processor import Processor, SimParams
 
 
 def run_pair(policy, traces, n_threads, cfg, params, **run_kw):
-    """Run the same cell through both loops; returns (fast, ref)."""
-    fast_proc = Processor(policy, traces, n_threads, cfg, params)
+    """Run the same cell through both loops; returns (fast, ref).
+
+    ``run_loop="fast"`` pins the generic fast path: the default
+    dispatch would take the specialised codegen tier (covered by
+    ``tests/test_specialize.py``) and these tests must keep gating
+    ``_run_fast`` itself — it is the fallback for any scenario the
+    generator rejects.
+    """
+    fast_proc = Processor(
+        policy, traces, n_threads, cfg, params, run_loop="fast"
+    )
     ref_proc = Processor(
         policy, traces, n_threads, cfg, params, force_reference=True
     )
@@ -84,7 +93,9 @@ def test_fast_forward_engages_on_memory_stalls(tiny_traces):
     otherwise the identity tests above prove nothing about it."""
     cfg = preset_cfg("slow-dram")
     params = SimParams(target_instructions=2_000, timeslice=0, seed=3)
-    proc = Processor(BY_NAME["SMT"], tiny_traces[:1], 1, cfg, params)
+    proc = Processor(
+        BY_NAME["SMT"], tiny_traces[:1], 1, cfg, params, run_loop="fast"
+    )
     stats = proc.run()
     assert proc.ff_skipped_cycles > 0
     assert stats.vertical_waste >= proc.ff_skipped_cycles

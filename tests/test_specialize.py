@@ -1,0 +1,257 @@
+"""Bit-identity and dispatch behaviour of the specialised codegen loop.
+
+``repro.pipeline.specialize`` generates a monomorphic run loop per
+resolved (policy, machine, memory, thread-count) cell; ``Processor.run``
+dispatches specialised → ``_run_fast`` → ``_run_reference``.  The tests
+here gate the generator the same way PR 3 gated the fast path: the
+generated loop must be *bit-identical* (every ``SimStats`` counter,
+memory/MSHR/writeback included) to the per-cycle reference loop across
+the full policy × machine × memory × nt matrix, the memo must hit on
+fingerprint-equal configs, and every fallback edge (hooks,
+``force_reference``, broken generation) must land on the right tier
+without changing results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.arch.config import get_memory_config
+from repro.arch.scenarios import MACHINE_PRESETS
+from repro.compiler.pipeline import compile_kernel
+from repro.core.policies import ALL_POLICIES, BY_NAME
+from repro.engine import CycleRecorder, QUICK_SCALE, SimulationSession
+from repro.pipeline import specialize
+from repro.pipeline.processor import Processor, SimParams
+from repro.pipeline.trace import record_trace
+
+from _kernels import make_axpy, make_wide
+
+MACHINES = ("paper", "narrow", "wide")
+MEMORIES = ("paper", "l2", "l2+mshr", "slow-dram")
+
+_trace_memo: dict = {}
+
+
+def traces_for(machine: str):
+    """Tiny kernels compiled against one machine scenario's config
+    (cluster count / issue shape are compiler-visible, so traces are
+    per-machine; memory presets share them)."""
+    traces = _trace_memo.get(machine)
+    if traces is None:
+        cfg = MACHINE_PRESETS[machine].machine
+        traces = [
+            record_trace(compile_kernel(make_axpy(), cfg=cfg).program, cfg),
+            record_trace(compile_kernel(make_wide(), cfg=cfg).program, cfg),
+        ]
+        _trace_memo[machine] = traces
+    return traces
+
+
+def run_tiers(policy, traces, nt, cfg, params):
+    """(specialised stats, reference stats, specialised proc)."""
+    sp = Processor(policy, traces, nt, cfg, params)
+    rp = Processor(policy, traces, nt, cfg, params, force_reference=True)
+    return sp.run(), rp.run(), sp
+
+
+# ---------------------------------------------------------------- matrix
+@pytest.mark.parametrize("machine", MACHINES)
+@pytest.mark.parametrize(
+    "policy", [p.name for p in ALL_POLICIES], ids=lambda p: p.replace(" ", "-")
+)
+def test_bit_identity_full_matrix(policy, machine):
+    """Every policy × machine × memory preset × thread count: the
+    specialised loop must actually be taken and produce identical
+    stats to the reference loop."""
+    base = MACHINE_PRESETS[machine].machine
+    traces = traces_for(machine)
+    for memory in MEMORIES:
+        cfg = replace(base, memory=get_memory_config(memory))
+        for nt in (1, 2, 4):
+            params = SimParams(
+                target_instructions=1_000, timeslice=400, seed=11
+            )
+            spec, ref, proc = run_tiers(
+                BY_NAME[policy], traces, nt, cfg, params
+            )
+            assert proc.loop_used == "specialized", (machine, memory, nt)
+            assert spec.to_dict() == ref.to_dict(), (machine, memory, nt)
+
+
+def test_bit_identity_perfect_memory_and_fixed_priority():
+    traces = traces_for("paper")
+    cfg = MACHINE_PRESETS["paper"].machine
+    for params in (
+        SimParams(target_instructions=1_000, timeslice=300, seed=5,
+                  perfect_memory=True),
+        SimParams(target_instructions=1_000, timeslice=250, seed=7,
+                  priority="fixed"),
+        SimParams(target_instructions=1_000, timeslice=0, seed=6),
+    ):
+        for policy in ("SMT", "CCSI AS", "COSI NS", "OOSI AS"):
+            spec, ref, proc = run_tiers(
+                BY_NAME[policy], traces, 4, cfg, params
+            )
+            assert proc.loop_used == "specialized"
+            assert spec.to_dict() == ref.to_dict(), (policy, params)
+
+
+def test_resumed_runs_stay_identical():
+    """Consecutive ``run()`` calls on one processor keep the pending
+    state representation consistent across max_cycles boundaries."""
+    traces = traces_for("paper")
+    cfg = MACHINE_PRESETS["paper"].machine
+    params = SimParams(target_instructions=10**9, timeslice=250, seed=4)
+    for policy in ("SMT", "COSI AS"):
+        sp = Processor(BY_NAME[policy], traces, 2, cfg, params)
+        rp = Processor(BY_NAME[policy], traces, 2, cfg, params,
+                       force_reference=True)
+        for limit in (300, 400):
+            s = sp.run(max_cycles=limit, stop_on_target=False)
+            r = rp.run(max_cycles=limit, stop_on_target=False)
+            assert s.to_dict() == r.to_dict(), (policy, limit)
+        assert sp.loop_used == "specialized"
+
+
+# ------------------------------------------------------------------ memo
+@pytest.fixture
+def fresh_cache():
+    specialize.clear_cache()
+    yield
+    specialize.clear_cache()
+
+
+def test_memo_hit_miss_by_fingerprint(fresh_cache):
+    """Two field-for-field equal configs share one compiled loop (the
+    key folds the machine through ``machine_fingerprint``); a different
+    scenario shape compiles a second one."""
+    traces = traces_for("paper")
+    cfg_a = MACHINE_PRESETS["paper"].machine
+    cfg_b = replace(cfg_a)  # equal content, distinct object
+    params = SimParams(target_instructions=500, timeslice=200, seed=1)
+
+    Processor(BY_NAME["SMT"], traces, 2, cfg_a, params).run()
+    info = specialize.cache_info()
+    assert (info["misses"], info["compiled"]) == (1, 1)
+
+    Processor(BY_NAME["SMT"], traces, 2, cfg_b, params).run()
+    info = specialize.cache_info()
+    assert (info["hits"], info["compiled"]) == (1, 1)
+
+    # different thread count -> different monomorphic loop
+    Processor(BY_NAME["SMT"], traces, 4, cfg_a, params).run()
+    info = specialize.cache_info()
+    assert (info["misses"], info["compiled"]) == (2, 2)
+    assert info["failures"] == 0
+
+
+def test_adopted_source_skips_generation(fresh_cache, monkeypatch):
+    """A worker that received ``(key, source)`` compiles the shipped
+    text without re-deriving it — generation must not run at all."""
+    traces = traces_for("paper")
+    cfg = MACHINE_PRESETS["paper"].machine
+    params = SimParams(target_instructions=500, timeslice=200, seed=1)
+    key, src = specialize.source_for(
+        BY_NAME["CCSI AS"], cfg, params, 2, len(traces)
+    )
+
+    specialize.clear_cache()
+    specialize.adopt_source(list(key), src)  # keys arrive as lists too
+
+    def boom(*a, **k):  # pragma: no cover - must never run
+        raise AssertionError("generation ran despite adopted source")
+
+    monkeypatch.setattr(specialize, "generate_loop_source", boom)
+    proc = Processor(BY_NAME["CCSI AS"], traces, 2, cfg, params)
+    proc.run()
+    assert proc.loop_used == "specialized"
+
+
+# -------------------------------------------------------- tier dispatch
+def test_hooks_and_force_reference_take_reference_loop():
+    traces = traces_for("paper")
+    cfg = MACHINE_PRESETS["paper"].machine
+    params = SimParams(target_instructions=500, timeslice=200, seed=3)
+
+    hooked = Processor(BY_NAME["SMT"], traces, 2, cfg, params,
+                       hooks=[CycleRecorder(limit=10**9)])
+    hooked.run()
+    assert hooked.loop_used == "reference"
+
+    forced = Processor(BY_NAME["SMT"], traces, 2, cfg, params,
+                       force_reference=True)
+    forced.run()
+    assert forced.loop_used == "reference"
+
+    explicit = Processor(BY_NAME["SMT"], traces, 2, cfg, params,
+                         run_loop="reference")
+    explicit.run()
+    assert explicit.loop_used == "reference"
+
+    fast = Processor(BY_NAME["SMT"], traces, 2, cfg, params,
+                     run_loop="fast")
+    fast.run()
+    assert fast.loop_used == "fast"
+    assert fast.ff_skipped_cycles >= 0
+
+    with pytest.raises(ValueError):
+        Processor(BY_NAME["SMT"], traces, 2, cfg, params,
+                  run_loop="turbo")
+
+
+def test_broken_generation_falls_back_to_fast(fresh_cache, monkeypatch):
+    """A generator bug must not change results: the dispatch memoises
+    the failure and lands on ``_run_fast`` silently (non-strict)."""
+    traces = traces_for("paper")
+    cfg = MACHINE_PRESETS["paper"].machine
+    params = SimParams(target_instructions=800, timeslice=200, seed=9)
+
+    monkeypatch.setattr(specialize, "STRICT", False)
+    monkeypatch.setattr(
+        specialize, "generate_loop_source",
+        lambda *a, **k: "def broken(:\n",
+    )
+    proc = Processor(BY_NAME["CCSI AS"], traces, 2, cfg, params)
+    stats = proc.run()
+    assert proc.loop_used == "fast"
+    assert specialize.cache_info()["failures"] == 1
+
+    ref = Processor(BY_NAME["CCSI AS"], traces, 2, cfg, params,
+                    force_reference=True).run()
+    assert stats.to_dict() == ref.to_dict()
+
+    # strict mode re-raises instead of falling back
+    specialize.clear_cache()
+    monkeypatch.setattr(specialize, "STRICT", True)
+    strict_proc = Processor(BY_NAME["CCSI AS"], traces, 2, cfg, params)
+    with pytest.raises(SyntaxError):
+        strict_proc.run()
+
+
+# ------------------------------------------------------ engine plumbing
+def test_session_prewarm_payload_roundtrip(fresh_cache):
+    """``prewarm_specialization`` returns the picklable payload the
+    pool runner ships; adopting it on a cold cache reproduces the
+    session's own results."""
+    session = SimulationSession(QUICK_SCALE)
+    payload = session.prewarm_specialization("CCSI AS", ("mcf",), 2)
+    assert payload is not None
+    key, src = payload
+    assert isinstance(src, str) and specialize.LOOP_NAME in src
+
+    stats = session.run("CCSI AS", ("mcf",), 2)
+    specialize.clear_cache()
+    specialize.adopt_source(key, src)
+    fresh = SimulationSession(QUICK_SCALE)
+    assert fresh.run("CCSI AS", ("mcf",), 2).to_dict() == stats.to_dict()
+
+    # tiers that never specialise ship no payload
+    assert SimulationSession(
+        QUICK_SCALE, run_loop="fast"
+    ).prewarm_specialization("CCSI AS", ("mcf",), 2) is None
+    assert SimulationSession(
+        QUICK_SCALE, reference=True
+    ).prewarm_specialization("CCSI AS", ("mcf",), 2) is None
