@@ -17,7 +17,14 @@ average IPC per policy x machine scenario)
 ``report``   — run the full matrix and (re)write EXPERIMENTS.md
 ``profile``  — cProfile one quick simulation, print the hottest
 functions (simulator-core time only: traces are built before the
-profiler starts)
+profiler starts); ``--out prof.pstats`` saves the raw profile,
+``--out prof.txt`` a readable dump
+``why``      — cycle attribution: where every issue slot of every
+cycle went, per policy (``repro fig why`` is the stacked-bar figure)
+``trace``    — simulate one cell with the Chrome trace-event exporter
+attached and write a ``trace.json`` Perfetto loads directly
+``stats``    — aggregate a ``--telemetry`` JSONL file into the
+sweep-end digest (sources, tier mix, cell wall-time percentiles)
 
 ``run`` and ``sweep`` take ``--memory <preset>`` (presets from
 ``repro.arch.config.MEMORY_PRESETS``: the paper's flat model, shared
@@ -32,13 +39,19 @@ Global flags ``--jobs N`` (process-pool width for sweeps) and
 an unchanged machine/scale re-simulates nothing) apply to every
 command; all simulations flow through
 :class:`repro.engine.SimulationSession`.
+
+Diagnostics go through the ``repro`` :mod:`logging` tree on stderr
+(stdout stays machine-parseable): ``-v/--verbose`` for debug detail
+with worker-PID attribution, ``-q/--quiet`` to silence informational
+lines, ``--telemetry FILE`` to append one JSON line of engine
+telemetry per resolved cell (see ``docs/observability.md``).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
-import sys
+import logging
 
 from .arch.config import MEMORY_PRESETS
 from .arch.scenarios import MACHINE_PRESETS, get_scenario
@@ -62,6 +75,9 @@ from .harness.figures import (
 )
 from .harness.waste import render_waste, waste_breakdown
 from .harness.workloads import WORKLOADS
+from .obs.logcfg import setup_logging
+
+_log = logging.getLogger("repro.cli")
 
 
 def _runner(args) -> ExperimentRunner:
@@ -69,6 +85,7 @@ def _runner(args) -> ExperimentRunner:
         QUICK_SCALE if args.quick else DEFAULT_SCALE,
         cache_dir=args.cache_dir,
         jobs=args.jobs,
+        telemetry=getattr(args, "telemetry", None),
     )
 
 
@@ -79,7 +96,7 @@ def _check_machines(names) -> int | None:
         try:
             get_scenario(name)
         except ValueError as e:
-            print(f"repro: {e}", file=sys.stderr)
+            _log.error(f"repro: {e}")
             return 2
     return None
 
@@ -132,11 +149,16 @@ def cmd_sweep(args) -> int:
         mach_col = f" {mach or '':>{mach_w}s}" if machine else ""
         print(f"{nt:2d} {pol:9s} {w:>9s}{mach_col}{mem_col} {s.ipc:6.2f}")
     info = session.cache_stats()
-    print(
+    # scripts grep this line (" 0 simulated", "from disk cache") —
+    # keep the wording when extending it
+    _log.info(
         f"# {len(results)} cells: {info['simulations']} simulated, "
-        f"{info['disk_hits']} from disk cache",
-        file=sys.stderr,
+        f"{info['disk_hits']} from disk cache, "
+        f"{info['memo_hits']} memo hits"
     )
+    from .obs import render_summary
+
+    _log.info(render_summary(session.telemetry.summary()))
     return 0
 
 
@@ -220,6 +242,16 @@ _FIG_POLICIES = {
 
 def cmd_fig(args) -> int:
     r = _runner(args)
+    if args.number == "why":
+        from .harness.figures import fig_why, render_fig_why
+
+        # attribution pins the reference loop and bypasses the pool —
+        # no --jobs prewarm applies
+        print(render_fig_why(
+            fig_why(runner=r, workload=args.workload,
+                    n_threads=args.threads)
+        ))
+        return 0
     if args.number == "machine":
         from .harness.figures import (
             FIG_MACHINE_PRESETS,
@@ -293,6 +325,72 @@ def cmd_waste(args) -> int:
     return 0
 
 
+def cmd_why(args) -> int:
+    """Cycle attribution report for one (workload, threads) cell."""
+    if (rc := _check_machines([args.machine] if args.machine else [])):
+        return rc
+    from .harness.figures import FIG16_POLICIES
+    from .obs import render_why, why_rows
+
+    r = _runner(args)
+    policies = args.policies or FIG16_POLICIES
+    rows = why_rows(
+        r, policies, args.workload, args.threads,
+        memory=args.memory, machine=args.machine,
+    )
+    print(render_why(rows))
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Simulate one cell with the trace exporter attached and write
+    Chrome trace-event JSON."""
+    if (rc := _check_machines([args.machine] if args.machine else [])):
+        return rc
+    from .engine import SimulationSession
+    from .obs import TraceExporter
+
+    exporter = TraceExporter(
+        limit=args.limit, counter_every=args.counter_every
+    )
+    # a hooked session always takes the reference loop and never reads
+    # the disk cache — the trace must describe a run that actually
+    # happened in this process
+    session = SimulationSession(
+        QUICK_SCALE if args.quick else DEFAULT_SCALE,
+        cache_dir=args.cache_dir,
+        hooks=[exporter],
+        memory=None,
+        telemetry=getattr(args, "telemetry", None),
+    )
+    s = session.run(args.policy, args.workload, args.threads,
+                    memory=args.memory, machine=args.machine)
+    exporter.write(args.out)
+    print(
+        f"wrote {args.out}: {len(exporter.events)} events "
+        f"({s.cycles} cycles, {s.context_switches} switches, "
+        f"IPC {s.ipc:.2f})"
+        + (", truncated at event cap" if exporter.truncated else "")
+    )
+    return 0
+
+
+def cmd_stats(args) -> int:
+    """Aggregate a telemetry JSONL file into the sweep digest."""
+    from .obs import load_jsonl, render_summary, summarize
+
+    try:
+        records = load_jsonl(args.file)
+    except OSError as e:
+        _log.error(f"repro: cannot read telemetry file: {e}")
+        return 2
+    if not records:
+        _log.error(f"repro: no telemetry records in {args.file}")
+        return 1
+    print(render_summary(summarize(records)))
+    return 0
+
+
 def cmd_profile(args) -> int:
     """Profile the simulation core on one quick scenario.
 
@@ -337,14 +435,29 @@ def cmd_profile(args) -> int:
     prof.enable()
     stats = proc.run()
     prof.disable()
-    print(f"# {args.policy} / {args.workload} / {args.threads}T / "
-          f"{args.machine} / {args.memory or cfg.memory.name} — "
-          f"{proc.loop_used} loop")
+    header = (
+        f"# {args.policy} / {args.workload} / {args.threads}T / "
+        f"{args.machine} / {args.memory or cfg.memory.name} — "
+        f"{proc.loop_used} loop"
+    )
+    print(header)
     print(f"# {stats.cycles} cycles, {stats.instructions} instructions, "
           f"IPC {stats.ipc:.2f}")
     ps = pstats.Stats(prof)
     ps.sort_stats(args.sort)
     ps.print_stats(args.top)
+    if args.out:
+        if args.out.endswith(".pstats"):
+            # raw marshalled profile: load with pstats.Stats(path) or
+            # snakeviz/gprof2dot
+            prof.dump_stats(args.out)
+        else:
+            with open(args.out, "w") as f:
+                f.write(header + "\n")
+                pstats.Stats(prof, stream=f).sort_stats(
+                    args.sort
+                ).print_stats(args.top)
+        _log.info(f"# wrote {args.out}")
     return 0
 
 
@@ -397,6 +510,21 @@ def build_parser() -> argparse.ArgumentParser:
             "--cache-dir", metavar="DIR",
             default=None if defaults else sup,
             help="content-hashed on-disk result cache")
+        parser.add_argument(
+            "-v", "--verbose", action="store_true",
+            default=False if defaults else sup,
+            help="debug-level diagnostics on stderr, with worker-PID "
+                 "attribution")
+        parser.add_argument(
+            "-q", "--quiet", action="store_true",
+            default=False if defaults else sup,
+            help="suppress informational diagnostics (errors still "
+                 "shown)")
+        parser.add_argument(
+            "--telemetry", metavar="FILE",
+            default=None if defaults else sup,
+            help="append one JSON line of engine telemetry per "
+                 "resolved cell (aggregate with `repro stats`)")
 
     add_global_flags(ap, defaults=True)
     sub = ap.add_subparsers(dest="command", required=True)
@@ -470,22 +598,29 @@ def build_parser() -> argparse.ArgumentParser:
     p = add_parser(
         "scenarios", help="list the machine-scenario registry"
     )
-    p.add_argument("-v", "--verbose", action="store_true",
-                   help="include descriptions and content fingerprints")
+    # the global -v doubles as "include descriptions and content
+    # fingerprints" here
     p.set_defaults(func=cmd_scenarios)
 
     p = add_parser(
         "fig",
         help="regenerate a paper figure, `fig mem` for the memory-"
-             "sensitivity figure, or `fig machine` for the machine-"
-             "sensitivity figure",
+             "sensitivity figure, `fig machine` for the machine-"
+             "sensitivity figure, or `fig why` for the cycle-"
+             "attribution stacked bars",
     )
     p.add_argument("number",
-                   choices=("13", "14", "15", "16", "mem", "machine"),
+                   choices=("13", "14", "15", "16", "mem", "machine",
+                            "why"),
                    metavar="FIG",
                    help="13/14/15/16 (paper figures), mem (average IPC "
-                        "per policy x memory preset), or machine "
-                        "(average IPC per policy x machine scenario)")
+                        "per policy x memory preset), machine (average "
+                        "IPC per policy x machine scenario), or why "
+                        "(issue-slot attribution stacked bars)")
+    p.add_argument("--workload", default="llhh", choices=list(WORKLOADS),
+                   help="workload for `fig why` (default: llhh)")
+    p.add_argument("--threads", type=int, default=4, choices=(1, 2, 4),
+                   help="thread count for `fig why` (default: 4)")
     p.set_defaults(func=cmd_fig)
 
     p = add_parser("claims", help="evaluate the paper's claims")
@@ -499,6 +634,53 @@ def build_parser() -> argparse.ArgumentParser:
     p = add_parser("report", help="write EXPERIMENTS.md")
     p.add_argument("--output", default="EXPERIMENTS.md")
     p.set_defaults(func=cmd_report)
+
+    p = add_parser(
+        "why",
+        help="cycle attribution: where every issue slot went, per "
+             "policy",
+    )
+    p.add_argument("--policies", nargs="+", default=None,
+                   choices=sorted(BY_NAME), metavar="POLICY",
+                   help="subset of policies (default: all eight)")
+    p.add_argument("--workload", default="llhh", choices=list(WORKLOADS))
+    p.add_argument("--threads", type=int, default=4, choices=(1, 2, 4))
+    p.add_argument("--memory", default=None,
+                   choices=sorted(MEMORY_PRESETS), metavar="PRESET",
+                   help="memory-hierarchy preset")
+    p.add_argument("--machine", default=None, metavar="SCENARIO",
+                   help=machine_help)
+    p.set_defaults(func=cmd_why)
+
+    p = add_parser(
+        "trace",
+        help="simulate one cell and write Chrome trace-event JSON "
+             "(open in Perfetto / chrome://tracing)",
+    )
+    p.add_argument("--policy", default="CCSI AS")
+    p.add_argument("--workload", default="llhh", choices=list(WORKLOADS))
+    p.add_argument("--threads", type=int, default=4, choices=(1, 2, 4))
+    p.add_argument("--memory", default=None,
+                   choices=sorted(MEMORY_PRESETS), metavar="PRESET",
+                   help="memory-hierarchy preset")
+    p.add_argument("--machine", default=None, metavar="SCENARIO",
+                   help=machine_help)
+    p.add_argument("--out", default="trace.json", metavar="FILE",
+                   help="output path (default: trace.json)")
+    p.add_argument("--limit", type=int, default=100_000, metavar="N",
+                   help="event cap; past it the trace is truncated "
+                        "and flagged (default: 100000)")
+    p.add_argument("--counter-every", type=int, default=0, metavar="N",
+                   help="sample an 'ops issued' counter track every N "
+                        "cycles (default: off)")
+    p.set_defaults(func=cmd_trace)
+
+    p = add_parser(
+        "stats",
+        help="aggregate a --telemetry JSONL file into the sweep digest",
+    )
+    p.add_argument("file", help="telemetry JSONL file to aggregate")
+    p.set_defaults(func=cmd_stats)
 
     p = add_parser(
         "profile",
@@ -528,6 +710,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "(docs/performance.md)")
     p.add_argument("--reference", action="store_true",
                    help="shorthand for --engine reference")
+    p.add_argument("--out", default=None, metavar="FILE",
+                   help="also save the profile: *.pstats for the raw "
+                        "marshalled form (pstats.Stats/snakeviz), "
+                        "anything else for a readable dump")
     p.set_defaults(func=cmd_profile)
 
     return ap
@@ -535,6 +721,9 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    setup_logging(
+        getattr(args, "verbose", False), getattr(args, "quiet", False)
+    )
     return args.func(args)
 
 

@@ -22,6 +22,7 @@ from .session import (
     ExperimentScale,
     SimulationSession,
 )
+from ..obs.telemetry import TelemetryLedger
 
 __all__ = [
     "CACHE_VERSION",
@@ -35,4 +36,5 @@ __all__ = [
     "QUICK_SCALE",
     "ExperimentScale",
     "SimulationSession",
+    "TelemetryLedger",
 ]

@@ -92,6 +92,9 @@ class ResultCache:
             ) from None
         self.hits = 0
         self.misses = 0
+        #: entries actually persisted (a failed best-effort write does
+        #: not count)
+        self.stores = 0
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key[2:]}.json"
@@ -135,6 +138,7 @@ class ResultCache:
             with open(tmp, "w") as f:
                 json.dump(doc, f)
             os.replace(tmp, path)
+            self.stores += 1
         except OSError:
             try:
                 tmp.unlink(missing_ok=True)

@@ -15,6 +15,10 @@ Events
     Every issue cycle, after the merge pass, before the clock advances.
 ``on_retire(cycle, slot, bench, was_split, taken)``
     Every retired dynamic VLIW instruction.
+``on_stall(cycle, slot, kind, cycles)``
+    A thread entered a memory stall: ``kind`` is ``"icache"`` (fetch
+    waits ``cycles`` for the line fill) or ``"dcache"`` (the thread
+    stalls ``cycles`` for its data misses, overlapped under MSHRs).
 ``on_context_switch(cycle)``
     Every multitasking timeslice rotation (§VI-A).
 ``on_run_end(stats)``
@@ -43,6 +47,11 @@ class SimHook:
 
     def on_retire(
         self, cycle: int, slot: int, bench: str, was_split: bool, taken: bool
+    ) -> None:
+        pass
+
+    def on_stall(
+        self, cycle: int, slot: int, kind: str, cycles: int
     ) -> None:
         pass
 

@@ -7,16 +7,22 @@ Workers receive only small picklable specs — (policy name, benchmark
 names, thread count, scale, machine config) — and rebuild traces
 locally via the per-process trace memo in :mod:`repro.kernels.suite`;
 trace bundles themselves (megabytes of flattened tables) never cross
-the process boundary.  Results come back as ``SimStats.to_dict()``
-payloads and are folded into the parent session's memo and disk cache.
+the process boundary.  Results come back as
+``{"stats": SimStats.to_dict(), "telemetry": <ledger record>}``
+payloads; stats are folded into the parent session's memo and disk
+cache, and the worker's telemetry record (tagged with the worker's
+PID) into the parent's ledger.
 """
 
 from __future__ import annotations
 
+import logging
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import replace
 
 from ..pipeline.stats import SimStats
+
+log = logging.getLogger(__name__)
 
 #: One worker task: everything needed to reproduce a cell from scratch.
 #: (policy_name, member_names, n_threads, scale, cfg, reference,
@@ -32,7 +38,8 @@ _CellPayload = tuple
 
 
 def _simulate_cell(payload: _CellPayload) -> dict:
-    """Pool worker: run one matrix cell, return serialized stats."""
+    """Pool worker: run one matrix cell, return serialized stats plus
+    the cell's telemetry record (stamped with this worker's PID)."""
     (policy_name, members, n_threads, scale, cfg, reference, run_loop,
      spec_src) = payload
     # Import here so fork-less start methods (spawn) stay cheap until
@@ -47,7 +54,15 @@ def _simulate_cell(payload: _CellPayload) -> dict:
         scale=scale, cfg=cfg, reference=reference, run_loop=run_loop
     )
     stats = session.run(policy_name, members, n_threads)
-    return stats.to_dict()
+    # the run just recorded exactly one ledger entry; ship it home so
+    # the parent's telemetry covers pooled cells too
+    telemetry = session.telemetry.records[-1]
+    log.debug(
+        "simulated %s / %s / %dT (%s loop, %.0f ms)",
+        policy_name, "+".join(members), n_threads,
+        telemetry.get("loop_used"), 1e3 * telemetry.get("wall_s", 0.0),
+    )
+    return {"stats": stats.to_dict(), "telemetry": telemetry}
 
 
 def run_matrix(
@@ -81,11 +96,24 @@ def run_matrix(
 
     pending: list[tuple] = []
     for spec in specs:
-        stats = session.lookup(*spec)
+        stats, source = session.lookup_with_source(*spec)
         if stats is not None:
+            # the pool path bypasses session.run(), so cache hits are
+            # written to the telemetry ledger here (wall time is the
+            # lookup's, effectively zero)
+            session._record_cell(
+                spec[0], spec[1], spec[2],
+                spec[3] if len(spec) > 3 else None,
+                spec[4] if len(spec) > 4 else None,
+                source, None, 0.0, 0.0,
+            )
             results[spec] = stats
         else:
             pending.append(spec)
+    log.debug(
+        "matrix: %d cells, %d cached, %d to simulate on %d workers",
+        len(specs), len(results), len(pending), jobs,
+    )
 
     if pending:
         payloads = []
@@ -114,10 +142,11 @@ def run_matrix(
                 )
             )
         with ProcessPoolExecutor(max_workers=jobs) as pool:
-            for spec, stats_dict in zip(
+            for spec, cell in zip(
                 pending, pool.map(_simulate_cell, payloads)
             ):
-                stats = SimStats.from_dict(stats_dict)
+                stats = SimStats.from_dict(cell["stats"])
+                session.telemetry.adopt(cell["telemetry"])
                 session.adopt(
                     spec[0],
                     spec[1],

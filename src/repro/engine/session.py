@@ -22,12 +22,14 @@ independent deterministic simulation.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, replace
 
 from ..arch.config import MachineConfig, PAPER_MACHINE, get_memory_config
 from ..arch.scenarios import get_scenario
 from ..core.policies import ALL_POLICIES, Policy, get_policy
 from ..kernels.suite import get_trace
+from ..obs.telemetry import TelemetryLedger
 from ..pipeline.processor import Processor, RUN_LOOPS, SimParams
 from ..pipeline.stats import SimStats
 from ..pipeline.trace import TraceBundle
@@ -84,6 +86,7 @@ class SimulationSession:
         machine: str | None = None,
         reference: bool = False,
         run_loop: str = "auto",
+        telemetry: str | None = None,
     ):
         if machine is not None:
             # a machine scenario supplies the whole config (its own
@@ -120,6 +123,13 @@ class SimulationSession:
         #: Processor runs actually executed on behalf of this session
         #: (including pool workers); zero on a warm-cache rerun.
         self.simulations = 0
+        #: in-process memo hits (every ``lookup``/``run`` resolution
+        #: served from ``_memo``)
+        self.memo_hits = 0
+        #: per-cell telemetry ledger (``docs/observability.md``):
+        #: always accumulates in memory; ``telemetry=`` names a JSONL
+        #: file every record is also appended to
+        self.telemetry = TelemetryLedger(telemetry)
 
     # ------------------------------------------------------------ keys
     def params(self, machine: str | None = None) -> SimParams:
@@ -250,14 +260,22 @@ class SimulationSession:
         scenario and ``machine`` a
         :data:`~repro.arch.scenarios.MACHINE_PRESETS` scenario to run
         the cell under (default: the session's own configuration —
-        ``machine="paper"`` is bit-identical to the default)."""
-        stats = self.lookup(policy, workload, n_threads, memory, machine)
+        ``machine="paper"`` is bit-identical to the default).
+
+        Every resolution — memo hit, disk hit, or simulation — lands
+        one record in :attr:`telemetry`."""
+        t0 = time.perf_counter()
+        stats, source = self.lookup_with_source(
+            policy, workload, n_threads, memory, machine
+        )
+        loop_used = None
+        spec_s = 0.0
         if stats is None:
-            policy, members, cfg, params, _ = self._cell(
+            pol, members, cfg, params, _ = self._cell(
                 policy, workload, n_threads, memory, machine
             )
             proc = Processor(
-                policy,
+                pol,
                 self._bundles(members, machine),
                 n_threads,
                 cfg,
@@ -268,8 +286,80 @@ class SimulationSession:
             )
             stats = proc.run()
             self.simulations += 1
-            self.adopt(policy, members, n_threads, stats, memory, machine)
+            self.adopt(pol, members, n_threads, stats, memory, machine)
+            source = "simulated"
+            loop_used = proc.loop_used
+            spec_s = proc.spec_seconds
+        self._record_cell(
+            policy, workload, n_threads, memory, machine,
+            source, loop_used, time.perf_counter() - t0, spec_s,
+        )
         return stats
+
+    def attribute(
+        self,
+        policy: Policy | str,
+        workload,
+        n_threads: int,
+        memory: str | None = None,
+        machine: str | None = None,
+    ) -> SimStats:
+        """Cycle-attribution run for one cell: the per-cycle reference
+        loop with issue-slot accounting enabled
+        (``docs/observability.md``).  All ordinary counters are
+        bit-identical to :meth:`run`'s; the result additionally carries
+        ``SimStats.attribution``.
+
+        Attributed results live under their own memo key and never
+        touch the disk cache — a populated ``attribution`` block in a
+        shared cache entry would leak into non-attribution runs and
+        break the run-loop tiers' bit-identity contract."""
+        pol, members, cfg, params, base_key = self._cell(
+            policy, workload, n_threads, memory, machine
+        )
+        key = ("attr", *base_key[1:])
+        stats = self._memo.get(key)
+        if stats is not None:
+            self.memo_hits += 1
+            return stats
+        t0 = time.perf_counter()
+        proc = Processor(
+            pol,
+            self._bundles(members, machine),
+            n_threads,
+            cfg,
+            params,
+            hooks=self.hooks,
+            attribute=True,
+        )
+        stats = proc.run()
+        self.simulations += 1
+        self._memo[key] = stats
+        self._record_cell(
+            policy, workload, n_threads, memory, machine,
+            "simulated", proc.loop_used, time.perf_counter() - t0,
+            proc.spec_seconds,
+        )
+        return stats
+
+    def _record_cell(
+        self, policy, workload, n_threads, memory, machine,
+        source, loop_used, wall_s, spec_s,
+    ) -> None:
+        self.telemetry.record(
+            policy=policy if isinstance(policy, str) else policy.name,
+            workload=(
+                workload if isinstance(workload, str)
+                else "+".join(workload)
+            ),
+            n_threads=n_threads,
+            memory=memory,
+            machine=machine,
+            source=source,
+            loop_used=loop_used,
+            wall_s=round(wall_s, 6),
+            spec_s=round(spec_s, 6),
+        )
 
     def prewarm_specialization(
         self,
@@ -319,7 +409,23 @@ class SimulationSession:
         memory: str | None = None,
         machine: str | None = None,
     ):
-        """Memo/disk-cache probe that never simulates (``None`` on miss).
+        """Memo/disk-cache probe that never simulates (``None`` on
+        miss)."""
+        return self.lookup_with_source(
+            policy, workload, n_threads, memory, machine
+        )[0]
+
+    def lookup_with_source(
+        self,
+        policy: Policy | str,
+        workload,
+        n_threads: int,
+        memory: str | None = None,
+        machine: str | None = None,
+    ) -> tuple[SimStats | None, str | None]:
+        """Like :meth:`lookup`, but also reports where the result came
+        from: ``"memo"``, ``"disk"``, or ``None`` on a miss — the
+        provenance half of the telemetry ledger.
 
         A hooked session never reads the disk cache: a disk hit would
         return stats for a simulation whose events never fired in this
@@ -331,7 +437,10 @@ class SimulationSession:
             policy, workload, n_threads, memory, machine
         )
         stats = self._memo.get(memo_key)
-        if stats is None and not self.hooks:
+        if stats is not None:
+            self.memo_hits += 1
+            return stats, "memo"
+        if not self.hooks:
             disk_key = self._disk_key(
                 policy.name, members, n_threads, params, cfg, machine
             )
@@ -339,7 +448,8 @@ class SimulationSession:
                 stats = self.cache.get(disk_key)
                 if stats is not None:
                     self._memo[memo_key] = stats
-        return stats
+                    return stats, "disk"
+        return None, None
 
     def adopt(
         self,
@@ -379,7 +489,9 @@ class SimulationSession:
         memo_key = ("single", bench, perfect_memory)
         stats = self._memo.get(memo_key)
         if stats is not None:
+            self.memo_hits += 1
             return stats
+        t0 = time.perf_counter()
         bundle = get_trace(bench, self.scale.kernel_scale, self.cfg)
         # Matches the legacy ``run_single_thread`` helper exactly
         # (including its 50 M-cycle safety limit, not the matrix
@@ -403,6 +515,7 @@ class SimulationSession:
             )
             if not self.hooks:  # see lookup(): no disk reads when hooked
                 stats = self.cache.get(disk_key)
+        source, loop_used, spec_s = "disk", None, 0.0
         if stats is None:
             from ..core.policies import SMT
 
@@ -412,11 +525,17 @@ class SimulationSession:
             )
             stats = proc.run()
             self.simulations += 1
+            source, loop_used = "simulated", proc.loop_used
+            spec_s = proc.spec_seconds
             if disk_key is not None:
                 self.cache.put(
                     disk_key, stats, meta={"policy": _ST_POLICY, "bench": bench}
                 )
         self._memo[memo_key] = stats
+        self._record_cell(
+            _ST_POLICY, bench, 1, None, None, source, loop_used,
+            time.perf_counter() - t0, spec_s,
+        )
         return stats
 
     def sweep(
@@ -515,7 +634,9 @@ class SimulationSession:
     def cache_stats(self) -> dict[str, int]:
         return {
             "memo_entries": len(self._memo),
+            "memo_hits": self.memo_hits,
             "disk_hits": self.cache.hits if self.cache else 0,
             "disk_misses": self.cache.misses if self.cache else 0,
+            "disk_stores": self.cache.stores if self.cache else 0,
             "simulations": self.simulations,
         }

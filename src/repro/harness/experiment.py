@@ -50,6 +50,8 @@ class ExperimentRunner:
         session: SimulationSession | None = None,
         memory: str | None = None,
         machine: str | None = None,
+        hooks=None,
+        telemetry: str | None = None,
     ):
         if session is not None:
             if (
@@ -59,17 +61,20 @@ class ExperimentRunner:
                 or jobs != 1
                 or memory is not None
                 or machine is not None
+                or hooks is not None
+                or telemetry is not None
             ):
                 raise ValueError(
                     "session= is mutually exclusive with "
-                    "scale/cfg/cache_dir/jobs/memory/machine (the "
-                    "session owns those)"
+                    "scale/cfg/cache_dir/jobs/memory/machine/hooks/"
+                    "telemetry (the session owns those)"
                 )
             self.session = session
         else:
             self.session = SimulationSession(
                 scale, cfg, cache_dir=cache_dir, jobs=jobs,
-                memory=memory, machine=machine,
+                memory=memory, machine=machine, hooks=hooks,
+                telemetry=telemetry,
             )
 
     @property

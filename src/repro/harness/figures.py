@@ -17,6 +17,9 @@ memory system as a second axis — and :func:`fig_machine`
 (``repro fig machine``) is its machine-scenario sibling: average IPC
 of every policy on every machine preset, the cross-machine scaling
 study the paper's single fixed machine could not express.
+:func:`fig_why` (``repro fig why``) is the observability layer's
+cycle-attribution figure: a stacked bar per policy of where every
+issue slot of every cycle went (``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -283,6 +286,53 @@ def render_fig_machine(rows) -> str:
                         f"{r['ipc'][m]:11.2f}" for m in machines
                     )
                 )
+    return "\n".join(out)
+
+
+def fig_why(
+    runner: ExperimentRunner | None = None,
+    workload: str = "llhh",
+    n_threads: int = 4,
+    policies=None,
+):
+    """Cycle-attribution figure (``repro fig why``): per-policy
+    issue-slot attribution fractions for one (workload, threads) cell.
+    Each row costs one reference-loop attribution run (memoised by the
+    session); the invariant ``sum(categories) == cycles * slots`` is
+    checked on every row."""
+    from ..obs.attribution import why_rows
+
+    runner = runner or default_runner()
+    if policies is None:
+        policies = FIG16_POLICIES
+    return why_rows(runner, policies, workload, n_threads)
+
+
+def render_fig_why(rows) -> str:
+    """Stacked-bar chart of where every issue slot went, per policy."""
+    from ..obs.attribution import (
+        CATEGORY_GLYPHS,
+        CATEGORY_LABELS,
+        attribution_bar,
+    )
+
+    if not rows:
+        return "Fig. why: no rows"
+    head = rows[0]
+    out = [
+        "Fig. why: issue-slot cycle attribution per policy — "
+        f"{head['workload']} / {head['threads']}T",
+    ]
+    for r in rows:
+        out.append(
+            f"  {r['policy']:8s} |{attribution_bar(r['fractions'], 48)}|"
+            f" IPC {r['ipc']:5.2f}"
+        )
+    legend = " ".join(
+        f"{CATEGORY_GLYPHS[c]}={CATEGORY_LABELS[c]}"
+        for c in CATEGORY_GLYPHS
+    )
+    out.append(f"  bar: {legend}")
     return "\n".join(out)
 
 

@@ -1,0 +1,68 @@
+"""CLI logging configuration.
+
+All ``repro`` diagnostics flow through the ``"repro"`` logger tree and
+land on **stderr** (stdout stays machine-parseable: tables, JSON,
+figures).  Three levels, chosen once at startup:
+
+* default — INFO: the bare messages the CLI always printed (sweep
+  completion line, cache split), format unchanged so scripts that grep
+  stderr keep working;
+* ``--verbose`` — DEBUG, with level/worker/logger prefixes (every
+  record is tagged with the emitting process's PID, so pool workers'
+  lines are attributable);
+* ``--quiet`` — WARNING: informational chatter off, errors still
+  shown.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+
+
+class _WorkerTag(logging.Filter):
+    """Stamp every record with the emitting process's PID.
+
+    ``filter`` is (ab)used as the standard logging idiom for record
+    enrichment; it never rejects a record.
+    """
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        record.worker = os.getpid()
+        return True
+
+
+def setup_logging(
+    verbose: bool = False, quiet: bool = False, stream=None
+) -> logging.Logger:
+    """Configure the ``repro`` logger tree; idempotent (repeated calls
+    — e.g. tests driving ``main()`` in-process — replace the handler
+    instead of stacking duplicates).  ``verbose`` wins over ``quiet``
+    if both are given."""
+    level = (
+        logging.DEBUG if verbose
+        else logging.WARNING if quiet
+        else logging.INFO
+    )
+    root = logging.getLogger("repro")
+    root.setLevel(level)
+    for h in list(root.handlers):
+        if getattr(h, "_repro_cli", False):
+            root.removeHandler(h)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler._repro_cli = True
+    handler.addFilter(_WorkerTag())
+    # default output is the bare message (bit-compatible with the
+    # pre-logging print() diagnostics); verbose adds attribution
+    fmt = (
+        "%(levelname)s [w%(worker)d] %(name)s: %(message)s"
+        if verbose
+        else "%(message)s"
+    )
+    handler.setFormatter(logging.Formatter(fmt))
+    root.addHandler(handler)
+    # the repro tree is self-contained: never double-print through an
+    # application root handler
+    root.propagate = False
+    return root

@@ -1,0 +1,205 @@
+"""Chrome trace-event export of one simulation.
+
+:class:`TraceExporter` is a :class:`~repro.engine.hooks.SimHook` that
+turns the simulator's event stream into the Trace Event Format JSON
+that ``chrome://tracing`` / Perfetto / Speedscope load directly:
+
+* one *track* (``tid``) per hardware thread slot, named and sorted;
+* every retired VLIW instruction as a 1-cycle complete event on its
+  slot's track (benchmark name, split/taken flags in ``args``);
+* memory stalls as duration events spanning the stall (``icache`` line
+  fills, ``dcache`` miss stalls);
+* context switches as global instant events;
+* optionally, an "ops issued" counter track sampled every
+  ``counter_every`` cycles.
+
+Cycle numbers map 1:1 onto the format's microsecond timestamps, so
+"1 ms" in the viewer is 1000 simulated cycles.
+
+Long runs stay bounded by ``limit``: once the cap is hit, recording
+stops (metadata events are exempt) and ``truncated`` is set, which
+:meth:`write` records under ``otherData`` — a capped trace says so
+instead of silently looking complete.  Hooked runs always take the
+per-cycle reference loop, so a traced simulation is bit-identical to
+the untraced run it describes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+@dataclass
+class TraceExporter:
+    """Collects Chrome trace events from one simulated run."""
+
+    #: hard cap on non-metadata events (complete + instant + counter)
+    limit: int = 100_000
+    #: emit an "ops issued" counter sample every N cycles (0 = off)
+    counter_every: int = 0
+    events: list[dict] = field(default_factory=list)
+    truncated: bool = False
+    _meta: dict = field(default_factory=dict)
+    _n: int = field(default=0)
+
+    # -- SimHook interface -------------------------------------------
+    def on_run_start(self, processor) -> None:
+        name = (
+            f"{processor.policy.name} / {processor.n_threads}T / "
+            f"{processor.cfg.memory.name}"
+        )
+        self._meta = {
+            "policy": processor.policy.name,
+            "n_threads": processor.n_threads,
+            "memory": processor.cfg.memory.name,
+            "issue_width": processor.cfg.issue_width,
+        }
+        self.events.append(_metadata("process_name", 0, {"name": name}))
+        for th in processor.threads:
+            self.events.append(
+                _metadata(
+                    "thread_name",
+                    th.slot,
+                    {"name": f"slot {th.slot}"},
+                )
+            )
+            self.events.append(
+                _metadata(
+                    "thread_sort_index",
+                    th.slot,
+                    {"sort_index": th.slot},
+                )
+            )
+
+    def on_cycle(self, cycle, ops_issued, threads_contributing) -> None:
+        if (
+            self.counter_every
+            and cycle % self.counter_every == 0
+            and self._room()
+        ):
+            self._add(
+                {
+                    "name": "ops issued",
+                    "ph": "C",
+                    "ts": cycle,
+                    "pid": 0,
+                    "tid": 0,
+                    "args": {
+                        "ops": ops_issued,
+                        "threads": threads_contributing,
+                    },
+                }
+            )
+
+    def on_retire(self, cycle, slot, bench, was_split, taken) -> None:
+        if self._room():
+            self._add(
+                {
+                    "name": bench,
+                    "cat": "retire",
+                    "ph": "X",
+                    "ts": cycle,
+                    "dur": 1,
+                    "pid": 0,
+                    "tid": slot,
+                    "args": {"split": was_split, "taken": taken},
+                }
+            )
+
+    def on_stall(self, cycle, slot, kind, cycles) -> None:
+        if self._room():
+            self._add(
+                {
+                    "name": f"{kind} stall",
+                    "cat": "mem",
+                    "ph": "X",
+                    "ts": cycle,
+                    "dur": cycles,
+                    "pid": 0,
+                    "tid": slot,
+                    "args": {"cycles": cycles},
+                }
+            )
+
+    def on_context_switch(self, cycle) -> None:
+        if self._room():
+            self._add(
+                {
+                    "name": "context switch",
+                    "cat": "sched",
+                    "ph": "i",
+                    "ts": cycle,
+                    "s": "g",
+                    "pid": 0,
+                    "tid": 0,
+                }
+            )
+
+    def on_run_end(self, stats) -> None:
+        self._meta["cycles"] = stats.cycles
+        self._meta["instructions"] = stats.instructions
+        self._meta["ipc"] = stats.ipc
+
+    # -- output -------------------------------------------------------
+    def to_document(self) -> dict:
+        """The full Trace Event Format document (JSON Object Format)."""
+        return {
+            "traceEvents": self.events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "generator": "repro trace",
+                "truncated": self.truncated,
+                "recorded_events": self._n,
+                "time_unit": "1 ts == 1 simulated cycle",
+                **self._meta,
+            },
+        }
+
+    def write(self, path: str | Path) -> Path:
+        """Serialize to ``path``; returns the path written."""
+        path = Path(path)
+        with open(path, "w") as f:
+            json.dump(self.to_document(), f)
+        return path
+
+    # -- internals ----------------------------------------------------
+    def _room(self) -> bool:
+        if self._n >= self.limit:
+            self.truncated = True
+            return False
+        return True
+
+    def _add(self, event: dict) -> None:
+        self.events.append(event)
+        self._n += 1
+
+
+def _metadata(name: str, tid: int, args: dict) -> dict:
+    return {"name": name, "ph": "M", "pid": 0, "tid": tid, "args": args}
+
+
+def validate_trace_document(doc: dict) -> int:
+    """Sanity-check a trace document (the CI smoke gate): required
+    top-level shape, every event carries the mandatory fields, and
+    complete events have non-negative durations.  Returns the number of
+    non-metadata events."""
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        raise ValueError("traceEvents missing or empty")
+    n = 0
+    for e in events:
+        for k in ("name", "ph", "pid", "tid"):
+            if k not in e:
+                raise ValueError(f"event missing {k!r}: {e}")
+        if e["ph"] == "M":
+            continue
+        if "ts" not in e:
+            raise ValueError(f"event missing 'ts': {e}")
+        if e["ph"] == "X" and e.get("dur", 0) < 0:
+            raise ValueError(f"negative duration: {e}")
+        n += 1
+    if n == 0:
+        raise ValueError("trace holds only metadata events")
+    return n

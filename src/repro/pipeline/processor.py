@@ -28,6 +28,7 @@ Replays functional traces under a multithreading/split-issue
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass
 
 from ..arch.config import MachineConfig, PAPER_MACHINE
@@ -38,7 +39,7 @@ from ..core.renaming import renaming_vector
 from ..core.splitstate import PendingInstruction
 from ..memory.hierarchy import MemorySystem
 from .specialize import get_specialized_loop
-from .stats import BenchStats, SimStats
+from .stats import ATTRIBUTION_CATEGORIES, BenchStats, SimStats
 from .trace import TraceBundle
 
 #: valid ``Processor(run_loop=...)`` values — "auto" and "specialized"
@@ -87,6 +88,7 @@ class _Thread:
         "pend",
         "stall_until",
         "fetch_at",
+        "fetch_is_miss",
         "last_iline",
     )
 
@@ -101,6 +103,10 @@ class _Thread:
         self.pend: PendingInstruction | None = None
         self.stall_until = 0
         self.fetch_at = 0
+        #: the current ``fetch_at`` wait is an icache-miss fill (set by
+        #: the reference fetch path; attribution classifies the wait as
+        #: a memory stall rather than a frontend bubble)
+        self.fetch_is_miss = False
         self.last_iline = -1
 
     def assign(self, bench: _Bench | None) -> None:
@@ -130,6 +136,7 @@ class Processor:
         hooks=None,
         force_reference: bool = False,
         run_loop: str = "auto",
+        attribute: bool = False,
     ):
         if n_threads < 1:
             raise ValueError("need at least one hardware thread")
@@ -154,6 +161,26 @@ class Processor:
         #: tier the last ``run()`` actually took:
         #: "specialized" | "fast" | "reference"
         self.loop_used: str | None = None
+        #: cycle attribution (``docs/observability.md``): account every
+        #: issue-slot × cycle into the exhaustive category set of
+        #: :data:`~repro.pipeline.stats.ATTRIBUTION_CATEGORIES`.
+        #: Forces the reference loop (per-cycle classification needs the
+        #: exact machine state) and flushes into ``stats.attribution``;
+        #: all other counters stay bit-identical to the other tiers.
+        self.attribute = attribute
+        self._attr = (
+            dict.fromkeys(ATTRIBUTION_CATEGORIES, 0) if attribute else None
+        )
+        #: set by the issue pass when a thread offered work the merge
+        #: engine refused (or only partially accepted) this cycle
+        self._attr_refused = False
+        #: inside the post-context-switch warm-up window (no operation
+        #: issued since the last switch)
+        self._post_switch = False
+        #: wall-clock seconds spent resolving the specialised run loop
+        #: (codegen + compile, or memo probe) for this processor —
+        #: telemetry only, never part of the simulated result
+        self.spec_seconds = 0.0
         self._loop_fn = _UNRESOLVED
         self.params = params or SimParams()
         self.n_threads = n_threads
@@ -226,7 +253,12 @@ class Processor:
             if lat is not None:
                 self.stats.icache_misses += 1
                 th.fetch_at = cycle + lat
+                th.fetch_is_miss = True
+                if self._hooks:
+                    for h in self._hooks:
+                        h.on_stall(cycle, th.slot, "icache", lat)
                 return False
+        th.fetch_is_miss = False
         th.pend = PendingInstruction(
             th.table, i, self._split, self._comm_split
         )
@@ -304,6 +336,9 @@ class Processor:
             c += 1
         if penalty:
             th.stall_until = max(th.stall_until, cycle + 1 + penalty)
+            if self._hooks:
+                for h in self._hooks:
+                    h.on_stall(cycle, th.slot, "dcache", penalty)
 
     # ---------------------------------------------------- pipeline stages
     def _merge_stage(self, th: _Thread, pend) -> tuple[int, int]:
@@ -376,6 +411,12 @@ class Processor:
                 if mem:
                     self._dcache_probe(th, mem, cycle)
                 stall_extra += self._commit_thread(th, pend, mem, cycle)
+            if self._attr is not None and (n == 0 or th.pend is not None):
+                # the merge engine refused this thread's offer outright
+                # (n == 0) or accepted only part of it (the pending
+                # instruction survives the commit stage): the cycle's
+                # leftover slots are merge/coherence-limited
+                self._attr_refused = True
         return ops_this_cycle, threads_contributing, stall_extra
 
     def _account_cycle(
@@ -424,19 +465,23 @@ class Processor:
            (also the silent fallback when generation fails).
         3. **reference** — :meth:`_run_reference`, the per-cycle
            oracle; forced by hooks (``on_cycle`` must fire every
-           cycle) and by ``force_reference``/``run_loop="reference"``.
+           cycle), by cycle attribution (``attribute=True``, which
+           classifies every cycle), and by
+           ``force_reference``/``run_loop="reference"``.
 
         The tier taken is recorded in :attr:`loop_used`.
         """
         if (
             self._hooks
             or self.force_reference
+            or self.attribute
             or self.run_loop == "reference"
         ):
             self.loop_used = "reference"
             return self._run_reference(max_cycles, stop_on_target)
         if self.run_loop != "fast":
             if self._loop_fn is _UNRESOLVED:
+                t0 = time.perf_counter()
                 self._loop_fn = get_specialized_loop(
                     self.policy,
                     self.cfg,
@@ -444,6 +489,7 @@ class Processor:
                     self.n_threads,
                     len(self.benches),
                 )
+                self.spec_seconds = time.perf_counter() - t0
             if self._loop_fn is not None:
                 self.loop_used = "specialized"
                 return self._loop_fn(self, max_cycles, stop_on_target)
@@ -462,6 +508,8 @@ class Processor:
         params = self.params
         stats = self.stats
         threads = self.threads
+        attr = self._attr
+        width = self.cfg.issue_width
         limit = max_cycles if max_cycles is not None else params.max_cycles
         timeslice = params.timeslice
         next_switch = timeslice
@@ -475,10 +523,55 @@ class Processor:
         end_cycle = cycle + limit
 
         while cycle < end_cycle:
+            if attr is not None:
+                # classification inputs are the state the issue pass is
+                # about to see: the drain flag, the warm-up flag, and
+                # whether any thread sits in a memory stall *entering*
+                # this cycle (a stall picked up during the cycle blocks
+                # the next cycle, not this one)
+                self._attr_refused = False
+                draining = switching
+                mem_stalled = False
+                for th in threads:
+                    if th.bench is not None and (
+                        cycle < th.stall_until
+                        or (
+                            th.pend is None
+                            and th.fetch_is_miss
+                            and cycle < th.fetch_at
+                        )
+                    ):
+                        mem_stalled = True
+                        break
             ops, contributing, stall_extra = self._issue_cycle(
                 cycle, switching
             )
             cycle = self._account_cycle(cycle, ops, contributing, stall_extra)
+
+            if attr is not None:
+                # exhaustive accounting: each simulated cycle yields
+                # exactly ``width`` slots — ``ops`` useful ones plus one
+                # waste category for the remainder (waterfall order:
+                # drain > post-switch warm-up > merge-refusal > memory
+                # stall > empty); whole store-port conflict stall
+                # cycles are coherence limits
+                attr["useful"] += ops
+                unused = width - ops
+                if unused:
+                    if draining:
+                        attr["switch_drain"] += unused
+                    elif self._post_switch:
+                        attr["post_switch"] += unused
+                    elif self._attr_refused:
+                        attr["merge_limited"] += unused
+                    elif mem_stalled:
+                        attr["mem_stall"] += unused
+                    else:
+                        attr["empty"] += unused
+                if stall_extra:
+                    attr["merge_limited"] += stall_extra * width
+                if ops:
+                    self._post_switch = False
 
             # ---- multitasking scheduler ----
             if multi and cycle >= next_switch:
@@ -488,12 +581,20 @@ class Processor:
                     self._context_switch(cycle)
                     next_switch = cycle + timeslice
                     switching = False
+                    self._post_switch = True
 
             if stop_on_target and self._target_hit:
                 break
 
         stats.cycles = cycle
         stats.memory = self.mem.stats_dict()
+        if attr is not None:
+            stats.attribution = {
+                "slots": width,
+                "cycles": stats.cycles,
+                "loop_used": "reference",
+                "categories": dict(attr),
+            }
         if self._hooks:
             for h in self._hooks:
                 h.on_run_end(stats)

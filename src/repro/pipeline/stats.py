@@ -19,6 +19,32 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+#: Exhaustive, mutually exclusive issue-slot × cycle attribution
+#: categories (``docs/observability.md``).  Every simulated cycle
+#: contributes exactly ``issue_width`` slots, split between ``useful``
+#: (operations issued) and exactly one waste category for the rest:
+#:
+#: * ``merge_limited``  — a thread offered work the merge engine
+#:   refused (or could only partially issue) this cycle, plus whole
+#:   buffered-store port-conflict stall cycles (coherence limits);
+#: * ``mem_stall``      — some thread sat in a data-miss stall or an
+#:   instruction-miss fill wait at issue time;
+#: * ``switch_drain``   — the timeslice expired and the scheduler is
+#:   draining in-flight split instructions before switching (§VI-A);
+#: * ``post_switch``    — post-timeslice idle: cycles after a context
+#:   switch before the new thread set issues its first operation
+#:   (refetch + cold-line warm-up attributed to the switch);
+#: * ``empty``          — no ready thread at all: branch-redirect
+#:   bubbles, unassigned hardware contexts, single-cycle fetch gaps.
+ATTRIBUTION_CATEGORIES = (
+    "useful",
+    "merge_limited",
+    "mem_stall",
+    "switch_drain",
+    "post_switch",
+    "empty",
+)
+
 
 @dataclass
 class BenchStats:
@@ -72,6 +98,13 @@ class SimStats:
     #: ``{"preset", "levels": {"l1i"/"l1d"/"l2": ...}, "dram"?,
     #: "prefetch"?}``; empty until a simulation populates it
     memory: dict = field(default_factory=dict)
+    #: per-cycle issue-slot attribution (``docs/observability.md``):
+    #: ``{"slots", "cycles", "loop_used", "categories": {...}}`` with
+    #: the invariant ``sum(categories) == cycles * slots``.  Populated
+    #: only by attribution runs (``Processor(attribute=True)``, always
+    #: on the reference loop); empty otherwise, so non-attributed runs
+    #: stay bit-identical across the three run-loop tiers.
+    attribution: dict = field(default_factory=dict)
 
     @property
     def ipc(self) -> float:
@@ -102,6 +135,15 @@ class SimStats:
         """Cycles charged for dirty-eviction writeback traffic (0 when
         writebacks are free; see ``memory["writeback"]``)."""
         return self.memory.get("writeback", {}).get("stall_cycles", 0)
+
+    def attribution_balance(self) -> int:
+        """``sum(categories) - cycles * slots`` for an attributed run —
+        0 exactly when the exhaustive-accounting invariant holds (and
+        trivially 0 when no attribution was recorded)."""
+        if not self.attribution:
+            return 0
+        a = self.attribution
+        return sum(a["categories"].values()) - a["cycles"] * a["slots"]
 
     @property
     def merged_cycle_frac(self) -> float:
@@ -138,6 +180,7 @@ class SimStats:
             },
             "issue_width": self.issue_width,
             "memory": self.memory,
+            "attribution": self.attribution,
         }
 
     @classmethod
@@ -163,6 +206,9 @@ class SimStats:
             },
             issue_width=d["issue_width"],
             memory=d.get("memory") or {},
+            # absent in pre-observability cache entries (still valid —
+            # attribution is additive, results are unchanged)
+            attribution=d.get("attribution") or {},
         )
 
     def summary(self) -> dict[str, float]:
