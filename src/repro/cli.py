@@ -24,7 +24,20 @@ cycle went, per policy (``repro fig why`` is the stacked-bar figure)
 ``trace``    — simulate one cell with the Chrome trace-event exporter
 attached and write a ``trace.json`` Perfetto loads directly
 ``stats``    — aggregate a ``--telemetry`` JSONL file into the
-sweep-end digest (sources, tier mix, cell wall-time percentiles)
+sweep-end digest (sources, tier mix, cell wall-time percentiles,
+failed cells)
+``cache``    — inspect or repair a ``--cache-dir`` store:
+``verify`` (read-only corruption scan), ``repair`` (quarantine
+corrupt + drop stale entries), ``gc`` (repair, drop the quarantine,
+compact the sweep journal), ``clear``
+
+``sweep`` is fault-tolerant (``docs/robustness.md``): per-cell
+retries with backoff (``--retries``), per-cell timeouts
+(``--cell-timeout S``), crashed-worker recovery, and recorded
+failures gated by ``--max-failures N`` / ``--strict``.  Interrupted
+or partially-failed sweeps continue with ``repro sweep --resume``
+(requires ``--cache-dir``); a sweep with recorded failures exits 1,
+an aborted sweep exits 3, an interrupted one 130.
 
 ``run`` and ``sweep`` take ``--memory <preset>`` (presets from
 ``repro.arch.config.MEMORY_PRESETS``: the paper's flat model, shared
@@ -80,12 +93,13 @@ from .obs.logcfg import setup_logging
 _log = logging.getLogger("repro.cli")
 
 
-def _runner(args) -> ExperimentRunner:
+def _runner(args, retry=None) -> ExperimentRunner:
     return ExperimentRunner(
         QUICK_SCALE if args.quick else DEFAULT_SCALE,
         cache_dir=args.cache_dir,
         jobs=args.jobs,
         telemetry=getattr(args, "telemetry", None),
+        retry=retry,
     )
 
 
@@ -117,19 +131,69 @@ def cmd_run(args) -> int:
     return 0
 
 
+def _sweep_digest(session) -> None:
+    """The sweep-end telemetry digest + per-cell failure lines (also
+    printed after an interrupt or abort, so a partial run still
+    reports what it completed and what it lost)."""
+    from .obs import render_summary
+
+    _log.info(render_summary(session.telemetry.summary()))
+    for f in session.failures:
+        _log.error(
+            f"# FAILED {f.cell}: {f.category} after {f.attempts} "
+            f"attempt(s) — {f.error}"
+        )
+
+
 def cmd_sweep(args) -> int:
+    import signal
+
+    from .engine.runner import RetryPolicy, SweepAborted
+
     if (rc := _check_machines(args.machine)):
         return rc
-    session = _runner(args).session
+    max_failures = 0 if args.strict else args.max_failures
+    retry = RetryPolicy(
+        cell_timeout=args.cell_timeout,
+        retries=args.retries,
+        max_failures=max_failures,
+    )
+    session = _runner(args, retry=retry).session
+    if args.resume and session.cache is None:
+        _log.error("repro: sweep --resume requires --cache-dir")
+        return 2
     memory = tuple(args.memory) if args.memory else None
     machine = tuple(args.machine) if args.machine else None
-    results = session.sweep(
-        policies=args.policies,
-        workloads=args.workloads,
-        n_threads=tuple(args.threads),
-        memory=memory,
-        machine=machine,
-    )
+
+    # SIGTERM (timeout managers, schedulers) checkpoints exactly like
+    # SIGINT: the journal and telemetry keep every completed cell
+    def _terminate(signum, frame):
+        raise KeyboardInterrupt
+
+    old_term = signal.signal(signal.SIGTERM, _terminate)
+    try:
+        results = session.sweep(
+            policies=args.policies,
+            workloads=args.workloads,
+            n_threads=tuple(args.threads),
+            memory=memory,
+            machine=machine,
+            resume=args.resume,
+        )
+    except KeyboardInterrupt:
+        _log.error(
+            "repro: sweep interrupted — completed cells are "
+            "checkpointed in the store/journal; "
+            "`repro sweep --resume` continues from here"
+        )
+        _sweep_digest(session)
+        return 130
+    except SweepAborted as e:
+        _log.error(f"repro: {e} (--max-failures exceeded)")
+        _sweep_digest(session)
+        return 3
+    finally:
+        signal.signal(signal.SIGTERM, old_term)
     mem_w = max(6, max(len(m) for m in memory)) if memory else 0
     mach_w = max(7, max(len(m) for m in machine)) if machine else 0
     mem_hdr = f" {'memory':>{mem_w}s}" if memory else ""
@@ -149,17 +213,18 @@ def cmd_sweep(args) -> int:
         mach_col = f" {mach or '':>{mach_w}s}" if machine else ""
         print(f"{nt:2d} {pol:9s} {w:>9s}{mach_col}{mem_col} {s.ipc:6.2f}")
     info = session.cache_stats()
-    # scripts grep this line (" 0 simulated", "from disk cache") —
-    # keep the wording when extending it
+    # scripts grep this line (" 0 simulated", "from disk cache",
+    # " failed") — keep the wording when extending it
     _log.info(
         f"# {len(results)} cells: {info['simulations']} simulated, "
         f"{info['disk_hits']} from disk cache, "
-        f"{info['memo_hits']} memo hits"
+        f"{info['memo_hits']} memo hits, "
+        f"{info['failures']} failed"
     )
-    from .obs import render_summary
-
-    _log.info(render_summary(session.telemetry.summary()))
-    return 0
+    _sweep_digest(session)
+    # recorded failures are tolerated (the sweep completed) but the
+    # exit code must not pretend the matrix converged
+    return 1 if session.failures else 0
 
 
 def cmd_mem(args) -> int:
@@ -391,6 +456,53 @@ def cmd_stats(args) -> int:
     return 0
 
 
+def cmd_cache(args) -> int:
+    """Inspect or repair an on-disk result store."""
+    from .engine import ResultCache, SweepJournal
+
+    if not args.cache_dir:
+        _log.error("repro: cache requires --cache-dir")
+        return 2
+    cache = ResultCache(args.cache_dir)
+    if args.action == "verify":
+        report = cache.verify()
+        print(
+            f"{report['ok']} ok, {report['stale']} stale, "
+            f"{report['corrupt']} corrupt, "
+            f"{report['quarantine']} quarantined, "
+            f"{report['tmp_files']} tmp file(s), "
+            f"{report['shadowed']} shadowed shard path(s)"
+        )
+        for key in report["corrupt_entries"]:
+            _log.error(f"# corrupt: {key}")
+        return 1 if report["corrupt"] else 0
+    if args.action == "repair":
+        report = cache.repair()
+        print(
+            f"kept {report['ok']}, quarantined {report['corrupt']} "
+            f"(now {report['quarantine']} in quarantine), dropped "
+            f"{report['removed_stale']} stale, swept "
+            f"{report['swept_tmp']} tmp file(s)"
+        )
+        return 0
+    if args.action == "gc":
+        report = cache.gc()
+        journal = SweepJournal.for_cache_dir(args.cache_dir)
+        journal.compact()
+        print(
+            f"kept {report['ok']}, dropped {report['removed_stale']} "
+            f"stale + {report['dropped_quarantine']} quarantined, "
+            f"swept {report['swept_tmp']} tmp file(s); journal "
+            "compacted"
+        )
+        return 0
+    # clear
+    n = len(cache)
+    cache.clear()
+    print(f"cleared {n} entr{'y' if n == 1 else 'ies'}")
+    return 0
+
+
 def cmd_profile(args) -> int:
     """Profile the simulation core on one quick scenario.
 
@@ -570,7 +682,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--machine", nargs="+", default=None,
                    metavar="SCENARIO",
                    help=machine_help + " — several sweep as an axis")
+    p.add_argument("--resume", action="store_true",
+                   help="skip cells already completed per the sweep "
+                        "journal + store (requires --cache-dir)")
+    p.add_argument("--cell-timeout", type=float, default=None,
+                   metavar="S",
+                   help="per-cell wall-clock timeout in seconds "
+                        "(parallel sweeps only; default: none)")
+    p.add_argument("--retries", type=int, default=2, metavar="N",
+                   help="extra attempts per cell after the first "
+                        "fails (default: 2)")
+    p.add_argument("--max-failures", type=int, default=None,
+                   metavar="N",
+                   help="abort the sweep once more than N cells "
+                        "exhaust their retries (default: tolerate "
+                        "all; failures are still recorded)")
+    p.add_argument("--strict", action="store_true",
+                   help="shorthand for --max-failures 0: any "
+                        "exhausted cell aborts the sweep")
     p.set_defaults(func=cmd_sweep)
+
+    p = add_parser(
+        "cache",
+        help="inspect or repair a --cache-dir result store "
+             "(verify / repair / gc / clear)",
+    )
+    p.add_argument("action", choices=("verify", "repair", "gc", "clear"),
+                   help="verify: read-only corruption scan; repair: "
+                        "quarantine corrupt + drop stale entries; gc: "
+                        "repair, then drop the quarantine and compact "
+                        "the sweep journal; clear: remove every entry")
+    p.set_defaults(func=cmd_cache)
 
     p = add_parser(
         "mem", help="memory-sensitivity report across hierarchy presets"

@@ -14,8 +14,16 @@ True
 """
 
 from .cache import CACHE_VERSION, ResultCache, cache_key
+from .faults import FaultPlan, InjectedCrash
 from .hooks import CycleRecorder, RetireLog, SimHook
-from .runner import run_matrix
+from .journal import SweepJournal
+from .runner import (
+    CellFailure,
+    RetryPolicy,
+    SweepAborted,
+    cell_label,
+    run_matrix,
+)
 from .session import (
     DEFAULT_SCALE,
     QUICK_SCALE,
@@ -28,9 +36,16 @@ __all__ = [
     "CACHE_VERSION",
     "ResultCache",
     "cache_key",
+    "CellFailure",
     "CycleRecorder",
+    "FaultPlan",
+    "InjectedCrash",
     "RetireLog",
+    "RetryPolicy",
     "SimHook",
+    "SweepAborted",
+    "SweepJournal",
+    "cell_label",
     "run_matrix",
     "DEFAULT_SCALE",
     "QUICK_SCALE",

@@ -1,4 +1,4 @@
-"""Content-hashed, disk-backed simulation result cache.
+"""Content-hashed, disk-backed, crash-safe simulation result store.
 
 A cache entry is one simulated matrix cell.  The key is a SHA-256 over
 the *content* that determines the result bit-for-bit:
@@ -17,10 +17,22 @@ the *content* that determines the result bit-for-bit:
 * the hardware thread count.
 
 Layout: ``<root>/<key[:2]>/<key[2:]>.json``, one JSON document per
-entry with a schema ``version`` gate.  Writes go through a temp file +
-``os.replace`` so concurrent ``--jobs`` writers never expose a torn
+entry with a schema ``version`` gate and a payload ``checksum``
+(SHA-256 over the canonical stats JSON) verified on every read.
+Writes go through a temp file + ``os.replace`` under an advisory
+lockfile (``<root>/.lock``) so concurrent ``--jobs`` writers — or
+writers on different machines sharing the store — never expose a torn
 entry; last writer wins, and both writers wrote identical bytes anyway
 (same key ⇒ same simulation).
+
+Corruption handling (``docs/robustness.md``): an entry that fails the
+version gate reads as a *stale* miss (old schema, re-simulated and
+overwritten); an entry that fails to parse, fails its checksum, or
+fails stats reconstruction is **quarantined** — moved aside into
+``<root>/quarantine/`` and counted, never silently deleted — so a bad
+disk or torn write stays diagnosable while the sweep re-simulates and
+heals the store.  ``repro cache verify|repair|gc`` expose
+:meth:`ResultCache.verify` / :meth:`repair` / :meth:`gc` from the CLI.
 """
 
 from __future__ import annotations
@@ -28,13 +40,24 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import logging
 import os
+import re
+from contextlib import contextmanager
 from pathlib import Path
 
 from ..arch.config import MachineConfig
 from ..arch.scenarios import machine_fingerprint
 from ..pipeline.processor import SimParams
 from ..pipeline.stats import SimStats
+from . import faults
+
+try:  # advisory cross-process locking; absent on some platforms
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX
+    fcntl = None
+
+log = logging.getLogger(__name__)
 
 #: Bump when the SimStats schema or simulator semantics change in a way
 #: that makes old entries unusable.
@@ -49,7 +72,16 @@ from ..pipeline.stats import SimStats
 #: (machine presets are a sweep axis; cosmetic preset names no longer
 #: reach the key), and prefetch fills route through the MSHR file when
 #: one exists — ``SimStats.memory["prefetch"]`` grew late/dropped.
-CACHE_VERSION = 4
+#: v5: entries carry a payload ``checksum`` verified on read (the
+#: crash-safe store); the simulated results themselves are unchanged.
+CACHE_VERSION = 5
+
+#: Shard directories are the first two hex digits of the key.
+_SHARD_RE = re.compile(r"^[0-9a-f]{2}$")
+
+#: Subdirectory corrupt entries are moved into (never globbed as a
+#: shard: "qu" would match the hex pattern, "quarantine" does not).
+QUARANTINE_DIR = "quarantine"
 
 
 def cache_key(
@@ -78,6 +110,12 @@ def cache_key(
     return hashlib.sha256(blob.encode()).hexdigest()
 
 
+def payload_checksum(stats_dict: dict) -> str:
+    """SHA-256 over the canonical JSON of one entry's stats payload."""
+    blob = json.dumps(stats_dict, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
 class ResultCache:
     """Disk-backed :class:`SimStats` store keyed by :func:`cache_key`."""
 
@@ -95,28 +133,104 @@ class ResultCache:
         #: entries actually persisted (a failed best-effort write does
         #: not count)
         self.stores = 0
+        #: best-effort writes that failed (ENOSPC, shadowed shard, ...)
+        self.put_errors = 0
+        #: corrupt entries moved aside by this process (see
+        #: :meth:`quarantine_count` for what is on disk in total)
+        self.quarantined = 0
 
+    # ------------------------------------------------------------ paths
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key[2:]}.json"
 
-    def get(self, key: str) -> SimStats | None:
-        """Load one entry; ``None`` (and a miss) on absent/stale/corrupt."""
+    def _shard_dirs(self) -> list[Path]:
         try:
-            with open(self._path(key)) as f:
+            return sorted(
+                p for p in self.root.iterdir()
+                if p.is_dir() and _SHARD_RE.match(p.name)
+            )
+        except OSError:
+            return []
+
+    def _entries(self):
+        for shard in self._shard_dirs():
+            yield from sorted(shard.glob("*.json"))
+
+    def _tmp_files(self) -> list[Path]:
+        """Leftover ``*.tmp`` files from interrupted writers."""
+        out = []
+        for shard in self._shard_dirs():
+            out.extend(sorted(shard.glob("*.tmp")))
+        return out
+
+    @contextmanager
+    def _locked(self):
+        """Advisory cross-process lock on the whole store.
+
+        Serialises writers/maintenance across processes (and across
+        machines on shared filesystems honouring POSIX locks).  The
+        entry write itself is already atomic (`os.replace`); the lock
+        protects multi-file maintenance — repair/gc/clear walking
+        shards while writers add entries — and is advisory by design:
+        readers never block.
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX
+            yield
+            return
+        lock_path = self.root / ".lock"
+        try:
+            fd = os.open(lock_path, os.O_RDWR | os.O_CREAT, 0o644)
+        except OSError:
+            yield  # a store that cannot lock still works, unserialised
+            return
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+            finally:
+                os.close(fd)
+
+    # -------------------------------------------------------- get / put
+    def get(self, key: str) -> SimStats | None:
+        """Load one entry; ``None`` (and a miss) when absent or stale.
+
+        A *corrupt* entry — unparsable JSON, payload checksum mismatch,
+        or a stats payload that fails reconstruction — is quarantined
+        (moved into ``<root>/quarantine/``, counted) and reads as a
+        miss: the sweep re-simulates the cell and heals the store,
+        while the bad bytes stay on disk for diagnosis.
+        """
+        path = self._path(key)
+        try:
+            with open(path) as f:
                 doc = json.load(f)
-        except (OSError, json.JSONDecodeError):
-            # absent, unreadable, or the shard path is shadowed by a
-            # stray file: all degrade to a miss
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except json.JSONDecodeError:
+            # torn or garbled bytes: crash-mid-write, bad disk
+            self._quarantine(path, "unparsable JSON")
+            self.misses += 1
+            return None
+        except OSError:
+            # unreadable, or the shard path is shadowed by a stray
+            # file: degrade to a miss (nothing to quarantine)
             self.misses += 1
             return None
         try:
             if doc.get("version") != CACHE_VERSION:
-                raise ValueError("stale schema")
-            stats = SimStats.from_dict(doc["stats"])
-        except (KeyError, TypeError, ValueError, AttributeError):
-            # structurally malformed (hand-edited, truncated payload,
-            # field mismatch without a version bump): treat as a miss
-            # and re-simulate rather than crash the sweep
+                # old schema, not corruption: miss and overwrite
+                self.misses += 1
+                return None
+            stats_dict = doc["stats"]
+            if doc.get("checksum") != payload_checksum(stats_dict):
+                raise ValueError("checksum mismatch")
+            stats = SimStats.from_dict(stats_dict)
+        except (KeyError, TypeError, ValueError, AttributeError) as e:
+            # structurally damaged despite a current version stamp
+            self._quarantine(path, str(e))
             self.misses += 1
             return None
         self.hits += 1
@@ -126,32 +240,188 @@ class ResultCache:
         """Best-effort write: a cache that cannot persist an entry (full
         disk, shard path shadowed by a stray file) degrades to slower
         reruns, it does not fail the sweep that computed the result."""
+        stats_dict = stats.to_dict()
         doc = {
             "version": CACHE_VERSION,
             "meta": meta or {},
-            "stats": stats.to_dict(),
+            "checksum": payload_checksum(stats_dict),
+            "stats": stats_dict,
         }
         path = self._path(key)
         tmp = path.with_name(path.name + f".{os.getpid()}.tmp")
         try:
+            faults.maybe_fail_store_write()
             path.parent.mkdir(parents=True, exist_ok=True)
             with open(tmp, "w") as f:
                 json.dump(doc, f)
-            os.replace(tmp, path)
+            with self._locked():
+                os.replace(tmp, path)
             self.stores += 1
-        except OSError:
+        except OSError as e:
+            self.put_errors += 1
+            log.warning("cache: failed to persist %s…: %s", key[:12], e)
             try:
                 tmp.unlink(missing_ok=True)
             except OSError:
                 pass
+            return
+        # fault injection: simulate the machine dying inside the write
+        # (torn bytes) *after* the happy path completed
+        faults.maybe_tear_entry(path)
 
+    # ------------------------------------------------------- quarantine
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move a corrupt entry aside (shard prefix folded back into
+        the filename so the original key stays reconstructable)."""
+        qdir = self.root / QUARANTINE_DIR
+        try:
+            qdir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, qdir / f"{path.parent.name}{path.name}")
+            self.quarantined += 1
+            log.warning(
+                "cache: quarantined corrupt entry %s/%s (%s)",
+                path.parent.name, path.name, reason,
+            )
+        except OSError:
+            # cannot move it (read-only store?): leave it; reads keep
+            # missing on it, verify/repair keep reporting it
+            log.warning(
+                "cache: corrupt entry %s/%s (%s) could not be "
+                "quarantined", path.parent.name, path.name, reason,
+            )
+
+    def quarantine_count(self) -> int:
+        """Corrupt entries currently held in ``<root>/quarantine/``."""
+        return sum(
+            1 for _ in (self.root / QUARANTINE_DIR).glob("*.json")
+        ) if (self.root / QUARANTINE_DIR).is_dir() else 0
+
+    # ------------------------------------------------------ maintenance
     def __len__(self) -> int:
-        return sum(1 for _ in self.root.glob("*/*.json"))
+        """Live entries (quarantined entries are counted separately by
+        :meth:`quarantine_count`, never here)."""
+        return sum(1 for _ in self._entries())
 
     def clear(self) -> int:
-        """Delete every entry; returns the number removed."""
+        """Delete every live entry, sweep leftover ``*.tmp`` files from
+        interrupted writers, and prune emptied shard directories;
+        returns the number of entries removed.  Quarantined entries are
+        kept (they are evidence; ``gc()`` drops them)."""
         n = 0
-        for p in self.root.glob("*/*.json"):
-            p.unlink()
-            n += 1
+        with self._locked():
+            for p in self._entries():
+                p.unlink()
+                n += 1
+            for p in self._tmp_files():
+                p.unlink(missing_ok=True)
+            self._prune_empty_shards()
         return n
+
+    def _prune_empty_shards(self) -> int:
+        n = 0
+        for shard in self._shard_dirs():
+            try:
+                shard.rmdir()  # fails (caught) unless empty
+                n += 1
+            except OSError:
+                pass
+        return n
+
+    def _scan(self, *, quarantine: bool) -> dict:
+        """Walk every entry; classify (and optionally quarantine) it."""
+        report = {
+            "entries": 0, "ok": 0, "corrupt": 0, "stale": 0,
+            "shadowed": 0, "tmp_files": len(self._tmp_files()),
+            "quarantine": self.quarantine_count(),
+            "corrupt_entries": [],
+        }
+        try:
+            report["shadowed"] = sum(
+                1 for p in self.root.iterdir()
+                if p.is_file() and _SHARD_RE.match(p.name)
+            )
+        except OSError:
+            pass
+        for path in list(self._entries()):
+            report["entries"] += 1
+            reason = None
+            try:
+                with open(path) as f:
+                    doc = json.load(f)
+                if doc.get("version") != CACHE_VERSION:
+                    report["stale"] += 1
+                    continue
+                stats_dict = doc["stats"]
+                if doc.get("checksum") != payload_checksum(stats_dict):
+                    raise ValueError("checksum mismatch")
+                SimStats.from_dict(stats_dict)
+            except json.JSONDecodeError:
+                reason = "unparsable JSON"
+            except OSError:
+                continue  # unreadable right now; not provably corrupt
+            except (KeyError, TypeError, ValueError, AttributeError) as e:
+                reason = str(e) or type(e).__name__
+            if reason is None:
+                report["ok"] += 1
+            else:
+                report["corrupt"] += 1
+                report["corrupt_entries"].append(
+                    f"{path.parent.name}{path.stem}"
+                )
+                if quarantine:
+                    self._quarantine(path, reason)
+        return report
+
+    def verify(self) -> dict:
+        """Read-only integrity scan of every entry: counts of ok /
+        corrupt (checksum, parse, payload) / stale-version entries,
+        leftover tmp files, shadowed shard paths, and the current
+        quarantine population.  Touches nothing."""
+        return self._scan(quarantine=False)
+
+    def repair(self) -> dict:
+        """Make the store clean: quarantine corrupt entries, delete
+        stale-version entries, sweep leftover tmp files, prune emptied
+        shard directories.  Returns the scan report plus what was
+        removed."""
+        with self._locked():
+            report = self._scan(quarantine=True)
+            removed_stale = 0
+            for path in list(self._entries()):
+                try:
+                    with open(path) as f:
+                        doc = json.load(f)
+                except (OSError, json.JSONDecodeError):
+                    continue  # fresh corruption since the scan: next run
+                if doc.get("version") != CACHE_VERSION:
+                    path.unlink(missing_ok=True)
+                    removed_stale += 1
+            swept = 0
+            for p in self._tmp_files():
+                p.unlink(missing_ok=True)
+                swept += 1
+            report.update(
+                removed_stale=removed_stale,
+                swept_tmp=swept,
+                pruned_dirs=self._prune_empty_shards(),
+                quarantine=self.quarantine_count(),
+            )
+        return report
+
+    def gc(self) -> dict:
+        """:meth:`repair`, then drop the quarantine (the point of the
+        quarantine is diagnosis; gc is the explicit "I am done looking"
+        step) and report reclaimed entries."""
+        report = self.repair()
+        dropped = 0
+        qdir = self.root / QUARANTINE_DIR
+        if qdir.is_dir():
+            for p in qdir.glob("*.json"):
+                p.unlink(missing_ok=True)
+                dropped += 1
+            try:
+                qdir.rmdir()
+            except OSError:
+                pass
+        report.update(dropped_quarantine=dropped, quarantine=0)
+        return report

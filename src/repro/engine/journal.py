@@ -1,0 +1,165 @@
+"""Durable sweep journal: the resumable scheduler's source of truth.
+
+A sweep over hundreds of cells should never owe its life to one
+process staying up.  The journal is an append-only JSONL file under
+the cache directory (``<cache-dir>/sweep-journal.jsonl``) recording
+one line per cell *outcome*:
+
+``{"key": <disk cache key>, "cell": "CSMT/llll/2", "status": "done",
+"source": "simulated", ...}`` for completed cells, ``"status":
+"failed"`` with error category / attempt count / message for cells
+that exhausted their retry budget, and ``{"event": "checkpoint", ...}``
+marker lines when a sweep is interrupted (SIGINT/SIGTERM) or completes.
+
+Records are keyed by the **content-hashed disk-cache key**, not by
+coordinate names: a resume after a kernel edit or scale change sees
+different keys and correctly re-simulates, exactly like the store
+itself.  Appends are line-atomic (single ``write`` of one line,
+flushed + fsynced), so a crashed writer leaves at most one torn final
+line, which :func:`load` skips — the same tolerance the telemetry
+reader has.
+
+Resume (``repro sweep --resume``) diffs the requested matrix against
+journal + store: cells whose key is ``done`` in the journal *and*
+present in the store (or memo) are skipped with zero re-simulation;
+cells marked ``failed`` — and cells never attempted — are scheduled.
+The journal is *advisory* for correctness (the store alone already
+makes warm reruns free); what it adds is failure memory, interruption
+checkpoints, and the resume plan report.  Multiple concurrent sweeps
+may append to one journal; last record per key wins on load.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+JOURNAL_NAME = "sweep-journal.jsonl"
+
+#: cell outcome statuses (marker lines carry "event" instead)
+DONE = "done"
+FAILED = "failed"
+
+
+class SweepJournal:
+    """Append-only JSONL ledger of per-cell sweep outcomes."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+
+    @classmethod
+    def for_cache_dir(cls, cache_dir: str | Path) -> "SweepJournal":
+        return cls(Path(cache_dir) / JOURNAL_NAME)
+
+    # ---------------------------------------------------------- writing
+    def _append(self, record: dict) -> None:
+        """One line, one write, flushed and fsynced: a crash tears at
+        most the final line, never an earlier one."""
+        line = json.dumps(record, sort_keys=True) + "\n"
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with open(self.path, "a") as f:
+                f.write(line)
+                f.flush()
+                os.fsync(f.fileno())
+        except OSError:
+            # the journal is advisory: a full disk must not kill the
+            # sweep whose results the store may still be persisting
+            pass
+
+    def record_done(self, key: str, cell: str, source: str) -> None:
+        self._append({
+            "key": key, "cell": cell, "status": DONE,
+            "source": source, "ts": time.time(),
+        })
+
+    def record_failed(
+        self, key: str, cell: str, category: str, attempts: int,
+        error: str,
+    ) -> None:
+        self._append({
+            "key": key, "cell": cell, "status": FAILED,
+            "category": category, "attempts": attempts,
+            "error": error, "ts": time.time(),
+        })
+
+    def checkpoint(self, event: str, **extra) -> None:
+        """Marker line: ``sweep-start``, ``sweep-complete``,
+        ``interrupted`` — the partial-digest breadcrumbs a resumed run
+        (or a human reading the journal) orients by."""
+        self._append({"event": event, "ts": time.time(), **extra})
+
+    # ---------------------------------------------------------- reading
+    def load(self) -> dict[str, dict]:
+        """Latest outcome per cell key (marker lines and torn trailing
+        lines skipped); empty dict when no journal exists yet."""
+        outcomes: dict[str, dict] = {}
+        try:
+            with open(self.path) as f:
+                for line in f:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        rec = json.loads(line)
+                    except json.JSONDecodeError:
+                        continue  # torn final line from a dead writer
+                    key = rec.get("key")
+                    if key and rec.get("status") in (DONE, FAILED):
+                        outcomes[key] = rec
+        except OSError:
+            pass
+        return outcomes
+
+    def compact(self) -> int:
+        """Rewrite the journal keeping only the latest outcome per key
+        (markers dropped); returns lines removed.  Used by ``repro
+        cache gc`` to stop an append-only file growing without bound."""
+        outcomes = self.load()
+        try:
+            before = sum(1 for _ in open(self.path))
+        except OSError:
+            return 0
+        tmp = self.path.with_suffix(".jsonl.tmp")
+        try:
+            with open(tmp, "w") as f:
+                for rec in outcomes.values():
+                    f.write(json.dumps(rec, sort_keys=True) + "\n")
+                f.flush()
+                os.fsync(f.fileno())
+            os.replace(tmp, self.path)
+        except OSError:
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+            return 0
+        return before - len(outcomes)
+
+
+def resume_plan(
+    journal_outcomes: dict[str, dict],
+    requested: list[tuple[str, tuple]],
+) -> dict:
+    """Diff a requested matrix against journal outcomes.
+
+    ``requested`` is ``[(disk_key, spec), ...]``.  Returns the plan the
+    scheduler and the CLI report share: which specs were previously
+    ``done``, previously ``failed`` (to re-schedule), and never
+    attempted.  The store/memo probe (which alone decides actual
+    re-simulation) happens downstream in ``run_matrix`` — a journal
+    that says "done" for an entry someone deleted from the store still
+    re-simulates correctly.
+    """
+    done, failed, missing = [], [], []
+    for key, spec in requested:
+        rec = journal_outcomes.get(key)
+        if rec is None:
+            missing.append(spec)
+        elif rec.get("status") == DONE:
+            done.append(spec)
+        else:
+            failed.append(spec)
+    return {"done": done, "failed": failed, "missing": missing}

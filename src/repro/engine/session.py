@@ -34,6 +34,9 @@ from ..pipeline.processor import Processor, RUN_LOOPS, SimParams
 from ..pipeline.stats import SimStats
 from ..pipeline.trace import TraceBundle
 from .cache import ResultCache, cache_key
+from .faults import FaultPlan
+from .journal import SweepJournal
+from .runner import DEFAULT_RETRY, RetryPolicy
 
 #: Policy-name stand-in for single-thread (ST) baseline runs in cache
 #: keys; the run itself uses op-level merging with one thread, where
@@ -87,6 +90,8 @@ class SimulationSession:
         reference: bool = False,
         run_loop: str = "auto",
         telemetry: str | None = None,
+        retry: RetryPolicy | None = None,
+        fault_plan: FaultPlan | str | None = None,
     ):
         if machine is not None:
             # a machine scenario supplies the whole config (its own
@@ -114,6 +119,26 @@ class SimulationSession:
             )
         self.run_loop = run_loop
         self.cache = ResultCache(cache_dir) if cache_dir else None
+        #: durable sweep journal under the cache dir — the resumable
+        #: scheduler's record of cell outcomes (``docs/robustness.md``);
+        #: only a cache-backed session can resume
+        self.journal = (
+            SweepJournal.for_cache_dir(cache_dir) if cache_dir else None
+        )
+        #: fault-tolerance knobs for sweeps (per-cell timeout, retry
+        #: budget, backoff, failure tolerance)
+        self.retry = DEFAULT_RETRY if retry is None else retry
+        #: deterministic fault-injection plan (chaos testing); defaults
+        #: to whatever the REPRO_FAULTS environment variable says,
+        #: which is the empty plan in normal operation
+        self.fault_plan = (
+            fault_plan if isinstance(fault_plan, FaultPlan)
+            else FaultPlan.parse(fault_plan) if fault_plan
+            else FaultPlan.from_env()
+        )
+        #: cells that exhausted their retry budget across this
+        #: session's sweeps (:class:`~repro.engine.runner.CellFailure`)
+        self.failures: list = []
         self._memo: dict[tuple, SimStats] = {}
         #: machine configs resolved per (machine preset, memory preset)
         #: sweep-axis coordinate, derived from the session config /
@@ -218,6 +243,22 @@ class SimulationSession:
             members,
             prints,
             n_threads,
+        )
+
+    def journal_key(self, spec: tuple) -> str | None:
+        """Content-hashed identity of one sweep spec for the journal —
+        the same key the disk cache uses, so a resumed sweep after a
+        kernel/scale/scenario change correctly sees *different* cells.
+        ``None`` for cache-less sessions (which cannot journal)."""
+        if self.cache is None:
+            return None
+        memory = spec[3] if len(spec) > 3 else None
+        machine = spec[4] if len(spec) > 4 else None
+        policy, members, cfg, params, _ = self._cell(
+            spec[0], spec[1], spec[2], memory, machine
+        )
+        return self._disk_key(
+            policy.name, members, spec[2], params, cfg, machine
         )
 
     def _cell(
@@ -359,6 +400,29 @@ class SimulationSession:
             loop_used=loop_used,
             wall_s=round(wall_s, 6),
             spec_s=round(spec_s, 6),
+        )
+
+    def record_failure(self, spec: tuple, failure) -> None:
+        """Land one exhausted cell in the telemetry ledger as a
+        ``source="failed"`` record carrying the error category and
+        attempt count (surfaced by the sweep digest and ``repro
+        stats``)."""
+        workload = spec[1]
+        self.telemetry.record(
+            policy=spec[0],
+            workload=(
+                workload if isinstance(workload, str)
+                else "+".join(workload)
+            ),
+            n_threads=spec[2],
+            memory=spec[3] if len(spec) > 3 else None,
+            machine=spec[4] if len(spec) > 4 else None,
+            source="failed",
+            loop_used=None,
+            wall_s=0.0,
+            spec_s=0.0,
+            error=failure.category,
+            attempts=failure.attempts,
         )
 
     def prewarm_specialization(
@@ -546,6 +610,7 @@ class SimulationSession:
         jobs: int | None = None,
         memory=None,
         machine=None,
+        resume: bool = False,
     ) -> dict[tuple, SimStats]:
         """Run a policy × workload × thread-count matrix, optionally on
         a process pool.  Returns ``{(policy, workload, nt): SimStats}``;
@@ -561,7 +626,15 @@ class SimulationSession:
         :func:`~repro.arch.scenarios.get_scenario`.  When given, result
         keys become ``(policy, workload, nt, memory, machine)`` (the
         memory coordinate is ``None`` unless the memory axis is also
-        swept) and each cell simulates on that machine."""
+        swept) and each cell simulates on that machine.
+
+        The sweep runs under the session's :class:`RetryPolicy`: a
+        cell that exhausts its retry budget is recorded in
+        :attr:`failures` (and the sweep journal) instead of raising,
+        up to ``retry.max_failures``.  ``resume=True`` first diffs the
+        matrix against the journal + store and logs the resume plan;
+        completed cells are never re-simulated either way
+        (``docs/robustness.md``)."""
         from .runner import run_matrix
 
         if policies is None:
@@ -596,7 +669,10 @@ class SimulationSession:
                 for p in policies
                 for w in workloads
             ]
-        return run_matrix(self, specs, self.jobs if jobs is None else jobs)
+        return run_matrix(
+            self, specs, self.jobs if jobs is None else jobs,
+            resume=resume,
+        )
 
     # ----------------------------------------------------- conveniences
     def ipc(
@@ -638,5 +714,8 @@ class SimulationSession:
             "disk_hits": self.cache.hits if self.cache else 0,
             "disk_misses": self.cache.misses if self.cache else 0,
             "disk_stores": self.cache.stores if self.cache else 0,
+            "disk_put_errors": self.cache.put_errors if self.cache else 0,
+            "quarantined": self.cache.quarantined if self.cache else 0,
             "simulations": self.simulations,
+            "failures": len(self.failures),
         }

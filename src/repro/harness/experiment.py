@@ -52,6 +52,7 @@ class ExperimentRunner:
         machine: str | None = None,
         hooks=None,
         telemetry: str | None = None,
+        retry=None,
     ):
         if session is not None:
             if (
@@ -63,18 +64,19 @@ class ExperimentRunner:
                 or machine is not None
                 or hooks is not None
                 or telemetry is not None
+                or retry is not None
             ):
                 raise ValueError(
                     "session= is mutually exclusive with "
                     "scale/cfg/cache_dir/jobs/memory/machine/hooks/"
-                    "telemetry (the session owns those)"
+                    "telemetry/retry (the session owns those)"
                 )
             self.session = session
         else:
             self.session = SimulationSession(
                 scale, cfg, cache_dir=cache_dir, jobs=jobs,
                 memory=memory, machine=machine, hooks=hooks,
-                telemetry=telemetry,
+                telemetry=telemetry, retry=retry,
             )
 
     @property

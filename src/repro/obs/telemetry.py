@@ -5,7 +5,10 @@ Every cell a :class:`~repro.engine.session.SimulationSession` resolves
 lands as one flat record in the session's :class:`TelemetryLedger`:
 
 ``policy, workload, n_threads, memory, machine`` (the cell),
-``source``   — ``"memo"`` / ``"disk"`` / ``"simulated"``,
+``source``   — ``"memo"`` / ``"disk"`` / ``"simulated"``, or
+``"failed"`` for cells that exhausted their sweep retry budget (these
+additionally carry ``error`` — the failure category — and
+``attempts``; see ``docs/robustness.md``),
 ``loop_used``— run-loop tier for simulated cells (``specialized`` /
 ``fast`` / ``reference``; ``None`` for cache hits),
 ``wall_s``   — wall-clock seconds to resolve the cell,
@@ -85,8 +88,10 @@ def percentile(values: list[float], q: float) -> float:
 
 def summarize(records: list[dict]) -> dict:
     """Aggregate a record list into the sweep-end digest."""
-    sources = {"memo": 0, "disk": 0, "simulated": 0}
+    sources = {"memo": 0, "disk": 0, "simulated": 0, "failed": 0}
     tiers: dict[str, int] = {}
+    failure_categories: dict[str, int] = {}
+    failure_attempts = 0
     walls = []
     total_wall = 0.0
     spec_s = 0.0
@@ -101,10 +106,16 @@ def summarize(records: list[dict]) -> dict:
             spec_s += r.get("spec_s", 0.0)
             tier = r.get("loop_used") or "unknown"
             tiers[tier] = tiers.get(tier, 0) + 1
+        elif src == "failed":
+            cat = r.get("error") or "error"
+            failure_categories[cat] = failure_categories.get(cat, 0) + 1
+            failure_attempts += r.get("attempts", 1)
     return {
         "cells": len(records),
         "sources": sources,
         "tiers": tiers,
+        "failure_categories": failure_categories,
+        "failure_attempts": failure_attempts,
         "wall_total_s": total_wall,
         "wall_p50_s": percentile(walls, 50),
         "wall_p95_s": percentile(walls, 95),
@@ -135,5 +146,16 @@ def render_summary(summary: dict) -> str:
         out.append(
             f"#   tier mix: {tiers}; specialisation codegen "
             f"{summary['spec_total_s']:.2f} s"
+        )
+    if s.get("failed"):
+        cats = ", ".join(
+            f"{cat} {n}" for cat, n in
+            sorted(summary.get("failure_categories", {}).items())
+        )
+        out.append(
+            f"#   {s['failed']} cell(s) FAILED ({cats}; "
+            f"{summary.get('failure_attempts', 0)} attempts burned) — "
+            "see the sweep journal; `repro sweep --resume` retries "
+            "them"
         )
     return "\n".join(out)

@@ -1,0 +1,111 @@
+"""The durable sweep journal and the resume planner
+(repro.engine.journal)."""
+
+import json
+
+from repro.engine.journal import SweepJournal, resume_plan
+
+
+def make_journal(tmp_path) -> SweepJournal:
+    return SweepJournal.for_cache_dir(tmp_path)
+
+
+def test_for_cache_dir_places_journal_inside(tmp_path):
+    j = make_journal(tmp_path)
+    assert j.path.parent == tmp_path
+    assert j.path.name == "sweep-journal.jsonl"
+
+
+def test_empty_journal_loads_empty(tmp_path):
+    assert make_journal(tmp_path).load() == {}
+
+
+def test_record_done_and_failed_round_trip(tmp_path):
+    j = make_journal(tmp_path)
+    j.record_done("k1", "CSMT/llll/2", "simulated")
+    j.record_failed("k2", "SMT/llll/2", "crash", 3, "boom")
+    outcomes = j.load()
+    assert outcomes["k1"]["status"] == "done"
+    assert outcomes["k1"]["source"] == "simulated"
+    assert outcomes["k2"]["status"] == "failed"
+    assert outcomes["k2"]["category"] == "crash"
+    assert outcomes["k2"]["attempts"] == 3
+
+
+def test_last_record_per_key_wins(tmp_path):
+    j = make_journal(tmp_path)
+    j.record_failed("k1", "CSMT/llll/2", "timeout", 3, "hung")
+    j.record_done("k1", "CSMT/llll/2", "simulated")
+    assert j.load()["k1"]["status"] == "done"
+
+
+def test_torn_trailing_line_is_skipped(tmp_path):
+    j = make_journal(tmp_path)
+    j.record_done("k1", "CSMT/llll/2", "simulated")
+    with open(j.path, "a") as f:
+        f.write('{"key": "k2", "status": "do')  # writer died mid-line
+    outcomes = j.load()
+    assert set(outcomes) == {"k1"}
+
+
+def test_checkpoint_markers_do_not_become_outcomes(tmp_path):
+    j = make_journal(tmp_path)
+    j.checkpoint("sweep-start", cells=4, jobs=2)
+    j.record_done("k1", "CSMT/llll/2", "simulated")
+    j.checkpoint("sweep-interrupted", completed=1)
+    assert set(j.load()) == {"k1"}
+    events = [
+        json.loads(line).get("event")
+        for line in open(j.path)
+        if "event" in line
+    ]
+    assert events == ["sweep-start", "sweep-interrupted"]
+
+
+def test_compact_keeps_latest_outcome_drops_markers(tmp_path):
+    j = make_journal(tmp_path)
+    j.checkpoint("sweep-start", cells=2)
+    j.record_failed("k1", "CSMT/llll/2", "crash", 3, "boom")
+    j.record_done("k1", "CSMT/llll/2", "simulated")
+    j.record_done("k2", "SMT/llll/2", "cached")
+    j.checkpoint("sweep-complete", completed=2)
+    removed = j.compact()
+    assert removed == 3  # two markers + the superseded k1 line
+    lines = [json.loads(x) for x in open(j.path)]
+    assert len(lines) == 2
+    assert j.load()["k1"]["status"] == "done"
+
+
+def test_compact_missing_journal_is_a_noop(tmp_path):
+    assert make_journal(tmp_path).compact() == 0
+
+
+def test_resume_plan_buckets(tmp_path):
+    j = make_journal(tmp_path)
+    j.record_done("k1", "a/llll/2", "simulated")
+    j.record_failed("k2", "b/llll/2", "crash", 3, "boom")
+    plan = resume_plan(
+        j.load(),
+        [("k1", ("a",)), ("k2", ("b",)), ("k3", ("c",))],
+    )
+    assert plan["done"] == [("a",)]
+    assert plan["failed"] == [("b",)]
+    assert plan["missing"] == [("c",)]
+
+
+def test_resume_plan_key_change_means_never_attempted(tmp_path):
+    """A kernel/scale edit changes content keys: the old 'done' records
+    no longer match, so the changed cells schedule as missing."""
+    j = make_journal(tmp_path)
+    j.record_done("old-key", "a/llll/2", "simulated")
+    plan = resume_plan(j.load(), [("new-key", ("a",))])
+    assert plan["missing"] == [("a",)]
+
+
+def test_append_is_best_effort(tmp_path):
+    """A journal that cannot be written (read-only dir stand-in: the
+    path is a directory) must not raise — the sweep goes on."""
+    j = SweepJournal(tmp_path)  # path IS a directory: open() fails
+    j.record_done("k1", "a/llll/2", "simulated")
+    j.checkpoint("sweep-start")
+    assert j.load() == {}

@@ -233,7 +233,9 @@ def test_telemetry_sources_and_jsonl(tmp_path):
     assert [r["source"] for r in records] == ["simulated", "memo", "disk"]
     s = summarize(records)
     assert s["cells"] == 3
-    assert s["sources"] == {"memo": 1, "disk": 1, "simulated": 1}
+    assert s["sources"] == {
+        "memo": 1, "disk": 1, "simulated": 1, "failed": 0,
+    }
     assert s["tiers"] == {"specialized": 1}
     assert s["wall_p50_s"] == sim["wall_s"]
 

@@ -1,0 +1,225 @@
+"""Crash-safe store corruption paths (repro.engine.cache): every way an
+entry can rot on disk must degrade to a quarantine or a miss with the
+right counters — never a crash, never a silently wrong result."""
+
+import json
+
+import pytest
+
+from repro.engine import ResultCache
+from repro.engine.cache import CACHE_VERSION, payload_checksum
+from repro.pipeline.stats import SimStats
+
+KEY = "ab" + "0" * 62
+KEY2 = "cd" + "1" * 62
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "c")
+
+
+def put_one(cache, key=KEY) -> SimStats:
+    stats = SimStats(cycles=10, operations=20)
+    cache.put(key, stats)
+    return stats
+
+
+# ------------------------------------------------------------ good path
+def test_round_trip_and_counters(cache):
+    put_one(cache)
+    assert cache.stores == 1
+    got = cache.get(KEY)
+    assert got is not None and got.cycles == 10
+    assert (cache.hits, cache.misses, cache.quarantined) == (1, 0, 0)
+    assert len(cache) == 1
+
+
+def test_entry_carries_checksum(cache):
+    put_one(cache)
+    doc = json.loads(cache._path(KEY).read_text())
+    assert doc["version"] == CACHE_VERSION
+    assert doc["checksum"] == payload_checksum(doc["stats"])
+
+
+# ------------------------------------------------------ corruption zoo
+def test_truncated_entry_quarantined(cache):
+    put_one(cache)
+    path = cache._path(KEY)
+    data = path.read_bytes()
+    path.write_bytes(data[: len(data) // 2])  # torn write
+    assert cache.get(KEY) is None
+    assert cache.misses == 1 and cache.quarantined == 1
+    assert not path.exists()  # moved aside, not left to rot
+    assert cache.quarantine_count() == 1
+    assert len(cache) == 0
+
+
+def test_wrong_version_is_stale_not_corrupt(cache):
+    put_one(cache)
+    path = cache._path(KEY)
+    doc = json.loads(path.read_text())
+    doc["version"] = CACHE_VERSION - 1
+    path.write_text(json.dumps(doc))
+    assert cache.get(KEY) is None
+    # old schema is normal ageing: a miss that re-simulation overwrites
+    assert cache.misses == 1 and cache.quarantined == 0
+    assert path.exists()
+
+
+def test_checksum_mismatch_quarantined(cache):
+    put_one(cache)
+    path = cache._path(KEY)
+    doc = json.loads(path.read_text())
+    doc["stats"]["cycles"] = 999  # bit-rot the payload, checksum stands
+    path.write_text(json.dumps(doc))
+    assert cache.get(KEY) is None
+    assert cache.quarantined == 1
+
+
+def test_garbled_payload_quarantined(cache):
+    path = cache._path(KEY)
+    path.parent.mkdir(parents=True)
+    stats = {"cycles": "not-a-number"}
+    path.write_text(json.dumps({
+        "version": CACHE_VERSION,
+        "checksum": payload_checksum(stats),
+        "stats": stats,
+    }))
+    assert cache.get(KEY) is None
+    assert cache.quarantined == 1
+
+
+def test_shadowed_shard_path_degrades(cache):
+    """A stray *file* where the shard directory belongs: reads miss,
+    writes count a put_error, nothing raises."""
+    (cache.root / KEY[:2]).write_text("in the way")
+    assert cache.get(KEY) is None
+    put_one(cache)
+    assert cache.stores == 0 and cache.put_errors == 1
+    assert cache.verify()["shadowed"] == 1
+
+
+def test_torn_write_next_reader_heals(cache, tmp_path):
+    """The full torn-write story: reader quarantines, re-put works,
+    subsequent reads hit again."""
+    put_one(cache)
+    path = cache._path(KEY)
+    path.write_bytes(path.read_bytes()[:30])
+    assert cache.get(KEY) is None  # quarantined
+    put_one(cache)  # the sweep re-simulates and heals
+    assert cache.get(KEY).cycles == 10
+    assert cache.quarantine_count() == 1  # evidence kept
+
+
+# ----------------------------------------------------- clear / __len__
+def test_clear_sweeps_tmp_and_prunes_shards(cache):
+    put_one(cache)
+    put_one(cache, KEY2)
+    leftover = cache._path(KEY).with_name("dead.12345.tmp")
+    leftover.write_text("interrupted writer")
+    assert cache.clear() == 2
+    assert len(cache) == 0
+    assert not leftover.exists()
+    # emptied shard dirs are pruned
+    assert cache._shard_dirs() == []
+
+
+def test_clear_keeps_quarantine(cache):
+    put_one(cache)
+    cache._path(KEY).write_text("{ torn")
+    cache.get(KEY)  # quarantines
+    put_one(cache, KEY2)
+    cache.clear()
+    assert cache.quarantine_count() == 1
+    assert len(cache) == 0
+
+
+def test_len_excludes_quarantine_and_tmp(cache):
+    put_one(cache)
+    put_one(cache, KEY2)
+    cache._path(KEY).write_text("{ torn")
+    cache.get(KEY)
+    cache._path(KEY2).with_name("x.1.tmp").write_text("tmp")
+    assert len(cache) == 1
+    assert cache.quarantine_count() == 1
+
+
+# --------------------------------------------------- verify/repair/gc
+def corrupt_store(tmp_path):
+    cache = ResultCache(tmp_path / "c")
+    put_one(cache)  # ok entry
+    put_one(cache, KEY2)
+    path = cache._path(KEY2)
+    path.write_bytes(path.read_bytes()[:25])  # corrupt entry
+    stale_key = "ef" + "2" * 62
+    put_one(cache, stale_key)
+    spath = cache._path(stale_key)
+    doc = json.loads(spath.read_text())
+    doc["version"] = 1
+    spath.write_text(json.dumps(doc))
+    cache._path(KEY).with_name("y.9.tmp").write_text("tmp")
+    return cache
+
+
+def test_verify_reports_without_touching(tmp_path):
+    cache = corrupt_store(tmp_path)
+    report = cache.verify()
+    assert report["ok"] == 1
+    assert report["corrupt"] == 1
+    assert report["stale"] == 1
+    assert report["tmp_files"] == 1
+    assert len(cache) == 3  # read-only: nothing moved or deleted
+    assert cache.quarantine_count() == 0
+    assert len(report["corrupt_entries"]) == 1
+
+
+def test_repair_quarantines_and_sweeps(tmp_path):
+    cache = corrupt_store(tmp_path)
+    report = cache.repair()
+    assert report["corrupt"] == 1 and report["quarantine"] == 1
+    assert report["removed_stale"] == 1
+    assert report["swept_tmp"] == 1
+    assert len(cache) == 1  # only the ok entry survives live
+    assert cache.get(KEY).cycles == 10
+
+
+def test_gc_drops_quarantine(tmp_path):
+    cache = corrupt_store(tmp_path)
+    report = cache.gc()
+    assert report["dropped_quarantine"] == 1
+    assert report["quarantine"] == 0
+    assert cache.quarantine_count() == 0
+    assert len(cache) == 1
+
+
+# ------------------------------------------------------ injected faults
+def test_enospc_fault_counts_put_error(tmp_path):
+    from repro.engine import faults
+
+    cache = ResultCache(tmp_path / "c")
+    faults.install("enospc@CSMT/llll/2")
+    faults.begin_cell("CSMT/llll/2", 1)
+    try:
+        put_one(cache)
+    finally:
+        faults.end_cell()
+        faults.install(None)
+    assert cache.put_errors == 1 and cache.stores == 0
+    assert cache.get(KEY) is None  # nothing persisted
+
+
+def test_corrupt_fault_tears_entry_after_write(tmp_path):
+    from repro.engine import faults
+
+    cache = ResultCache(tmp_path / "c")
+    faults.install("corrupt@CSMT/llll/2")
+    faults.begin_cell("CSMT/llll/2", 1)
+    try:
+        put_one(cache)
+    finally:
+        faults.end_cell()
+        faults.install(None)
+    assert cache.stores == 1  # the write itself succeeded
+    assert cache.get(KEY) is None  # ...but the bytes are torn
+    assert cache.quarantined == 1
