@@ -1,0 +1,310 @@
+"""Determinism / worker-contract linter for the whole stack.
+
+The simulator's load-bearing contracts are behavioural: results must
+be bit-identical across runs, processes and pool workers; cache keys
+must be pure functions of cell content; pool workers must return error
+payloads rather than raise (an unpicklable exception kills the pool,
+not the cell).  Each rule here turns one of those contracts into a
+static check.  An ``id()``-based memo key of exactly the kind
+``id-key`` bans shipped (and was fixed) in PR 5.
+
+Rules are :class:`~repro.analysis.base.Rule` subclasses registered
+with :func:`~repro.analysis.base.rule`; see ``docs/analysis.md`` for
+the catalogue and how to add one.  False positives are silenced with
+``# repro-lint: ignore[rule]`` on the flagged line.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .base import Rule, rule
+
+#: modules whose behaviour feeds simulated results or cache keys —
+#: wall-clock reads and global-RNG draws here break bit-identity
+SIM_SCOPE = (
+    "repro.arch",
+    "repro.compiler",
+    "repro.core",
+    "repro.memory",
+    "repro.pipeline",
+    "repro.engine.cache",
+)
+
+
+def dotted(node: ast.AST) -> tuple[str, ...]:
+    """``a.b.c`` as ``("a", "b", "c")`` (empty if not a dotted name)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return ()
+
+
+@rule
+class MutableDefaultRule(Rule):
+    """Mutable default arguments alias one object across every call."""
+
+    name = "mutable-default"
+    description = (
+        "public function/method with a mutable default argument "
+        "(list/dict/set literal or constructor) — the default is "
+        "shared across calls"
+    )
+
+    _CTORS = frozenset(
+        {"list", "dict", "set", "bytearray", "defaultdict", "Counter",
+         "OrderedDict", "deque"}
+    )
+
+    def _is_mutable(self, node: ast.expr) -> bool:
+        if isinstance(
+            node,
+            (ast.List, ast.Dict, ast.Set,
+             ast.ListComp, ast.DictComp, ast.SetComp),
+        ):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in self._CTORS
+        )
+
+    def _check(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        if not node.name.startswith("_"):
+            defaults = [
+                *node.args.defaults,
+                *(d for d in node.args.kw_defaults if d is not None),
+            ]
+            for default in defaults:
+                if self._is_mutable(default):
+                    self.report(
+                        default,
+                        f"public function {node.name!r} has a mutable "
+                        "default argument (one shared object across "
+                        "every call); default to None and build inside",
+                    )
+        self.generic_visit(node)
+
+    visit_FunctionDef = _check
+    visit_AsyncFunctionDef = _check
+
+
+@rule
+class SilentExceptRule(Rule):
+    """Broad exception handlers that swallow everything silently."""
+
+    name = "silent-except"
+    description = (
+        "bare/broad except (Exception, BaseException) whose body only "
+        "passes — failures vanish without a log line or a payload"
+    )
+
+    def _is_broad(self, exc: ast.expr | None) -> bool:
+        if exc is None:  # bare except:
+            return True
+        if isinstance(exc, ast.Tuple):
+            return any(self._is_broad(e) for e in exc.elts)
+        return dotted(exc)[-1:] in (("Exception",), ("BaseException",))
+
+    def _is_noop(self, stmt: ast.stmt) -> bool:
+        if isinstance(stmt, (ast.Pass, ast.Continue)):
+            return True
+        return isinstance(stmt, ast.Expr) and isinstance(
+            stmt.value, ast.Constant
+        )
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if self._is_broad(node.type) and all(
+            self._is_noop(s) for s in node.body
+        ):
+            caught = "except" if node.type is None else (
+                "except " + ".".join(dotted(node.type))
+                if dotted(node.type)
+                else "except <expr>"
+            )
+            self.report(
+                node,
+                f"{caught!s} swallows every error silently; log it, "
+                "narrow the exception, or pragma a deliberate "
+                "best-effort cleanup",
+            )
+        self.generic_visit(node)
+
+
+@rule
+class WallClockRule(Rule):
+    """Wall-clock / entropy reads inside deterministic code."""
+
+    name = "wallclock"
+    description = (
+        "time.time/time_ns, datetime.now/utcnow/today, os.urandom or "
+        "uuid1/uuid4 in simulator or cache-key code — results would "
+        "vary run to run (perf_counter/monotonic telemetry is fine)"
+    )
+    scope = SIM_SCOPE
+
+    _BANNED = frozenset(
+        {("time", "time"), ("time", "time_ns"), ("os", "urandom"),
+         ("uuid", "uuid1"), ("uuid", "uuid4")}
+    )
+    _DT = frozenset({"now", "utcnow", "today"})
+
+    def visit_Call(self, node: ast.Call) -> None:
+        path = dotted(node.func)
+        if len(path) >= 2:
+            tail = path[-2:]
+            if tail in self._BANNED or (
+                tail[1] in self._DT and "datetime" in path
+            ):
+                self.report(
+                    node,
+                    f"{'.'.join(path)}() reads wall-clock/entropy in "
+                    "deterministic scope — simulated results and cache "
+                    "keys must be pure functions of the cell",
+                )
+        self.generic_visit(node)
+
+
+@rule
+class UnseededRandomRule(Rule):
+    """Global-RNG draws (or an unseeded Random) anywhere in the stack."""
+
+    name = "unseeded-random"
+    description = (
+        "module-level random.* draw or seedless random.Random() — "
+        "state is shared/process-dependent; use random.Random(seed)"
+    )
+
+    _GLOBAL_FNS = frozenset(
+        {"random", "randint", "randrange", "uniform", "choice",
+         "choices", "shuffle", "sample", "gauss", "seed", "getrandbits",
+         "betavariate", "expovariate", "triangular"}
+    )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        path = dotted(node.func)
+        if len(path) == 2 and path[0] == "random":
+            if path[1] == "Random":
+                if not node.args and not node.keywords:
+                    self.report(
+                        node,
+                        "random.Random() without a seed draws from OS "
+                        "entropy; pass the experiment seed",
+                    )
+            elif path[1] in self._GLOBAL_FNS:
+                self.report(
+                    node,
+                    f"random.{path[1]}() uses the shared module-level "
+                    "RNG (call-order and process dependent); use a "
+                    "seeded random.Random instance",
+                )
+        self.generic_visit(node)
+
+
+@rule
+class IdKeyRule(Rule):
+    """``id()`` is never a stable identity across runs or workers."""
+
+    name = "id-key"
+    description = (
+        "id() call — object addresses differ across runs/processes, "
+        "so they must never reach memo keys, hashes or results "
+        "(the PR 5 memo bug)"
+    )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.id == "id"
+            and len(node.args) == 1
+        ):
+            self.report(
+                node,
+                "id() is process-specific; key on content (names, "
+                "fingerprints, dataclass fields) instead",
+            )
+        self.generic_visit(node)
+
+
+@rule
+class SetIterRule(Rule):
+    """Iteration order of sets is hash-randomised for strings."""
+
+    name = "set-iter"
+    description = (
+        "iterating a set literal/constructor in simulator or engine "
+        "code — order varies per process (PYTHONHASHSEED); wrap in "
+        "sorted()"
+    )
+    scope = SIM_SCOPE + ("repro.engine",)
+
+    def _is_set(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("set", "frozenset")
+        )
+
+    def visit_For(self, node: ast.For) -> None:
+        if self._is_set(node.iter):
+            self.report(
+                node.iter,
+                "for-loop over a set: iteration order is per-process; "
+                "sorted() it before anything order-sensitive "
+                "(stats, cache keys, schedules)",
+            )
+        self.generic_visit(node)
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        if self._is_set(node.iter):
+            self.report(
+                node.iter,
+                "comprehension over a set: iteration order is "
+                "per-process; sorted() it first",
+            )
+        self.generic_visit(node)
+
+
+@rule
+class WorkerRaiseRule(Rule):
+    """Pool workers must return error payloads, never raise."""
+
+    name = "worker-raise"
+    description = (
+        "raise inside a function submitted to the process pool — an "
+        "unpicklable exception kills the pool, not the cell; return "
+        "an {'error': ...} payload instead"
+    )
+    scope = ("repro.engine.runner",)
+
+    def visit_Module(self, node: ast.Module) -> None:
+        workers: set[str] = set()
+        for call in ast.walk(node):
+            if (
+                isinstance(call, ast.Call)
+                and isinstance(call.func, ast.Attribute)
+                and call.func.attr == "submit"
+                and call.args
+                and isinstance(call.args[0], ast.Name)
+            ):
+                workers.add(call.args[0].id)
+        for fn in node.body:
+            if (
+                isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and fn.name in workers
+            ):
+                for sub in ast.walk(fn):
+                    if isinstance(sub, ast.Raise):
+                        self.report(
+                            sub,
+                            f"raise inside pool worker {fn.name!r}; "
+                            "the worker contract is to return an "
+                            "{'error': ...} payload the parent can "
+                            "charge and retry",
+                        )

@@ -1,0 +1,44 @@
+"""Findings report: human rendering + the JSON artifact CI uploads."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .base import Finding
+
+REPORT_VERSION = 1
+
+
+def render_findings(findings: Iterable[Finding]) -> str:
+    """One ``path:line: [rule] message`` line per finding."""
+    return "\n".join(f.format() for f in findings)
+
+
+def build_report(
+    findings: Sequence[Finding],
+    passes: Sequence[str],
+    extra: dict[str, object] | None = None,
+) -> dict[str, object]:
+    """The machine-readable run summary (CI artifact payload)."""
+    counts: dict[str, int] = {}
+    for f in findings:
+        counts[f.rule] = counts.get(f.rule, 0) + 1
+    report: dict[str, object] = {
+        "version": REPORT_VERSION,
+        "passes": list(passes),
+        "clean": not findings,
+        "counts": counts,
+        "findings": [f.to_dict() for f in findings],
+    }
+    if extra:
+        report.update(extra)
+    return report
+
+
+def write_report(path: str | Path, report: dict[str, object]) -> None:
+    Path(path).write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )

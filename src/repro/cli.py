@@ -30,6 +30,12 @@ failed cells)
 ``verify`` (read-only corruption scan), ``repair`` (quarantine
 corrupt + drop stale entries), ``gc`` (repair, drop the quarantine,
 compact the sweep journal), ``clear``
+``lint``     — static verification (``docs/analysis.md``): the
+determinism/contract linter over the source tree (``detlint``), the
+cross-tier counter-flow check (``counterflow``), and generated-loop
+verification over the full preset matrix (``loopcheck``);
+``--select`` picks passes, ``--json FILE`` writes the findings
+report, exit 1 on any finding
 
 ``sweep`` is fault-tolerant (``docs/robustness.md``): per-cell
 retries with backoff (``--retries``), per-cell timeouts
@@ -456,6 +462,39 @@ def cmd_stats(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    """Static verification: detlint + counterflow + loopcheck."""
+    from . import analysis
+
+    try:
+        findings, stats = analysis.run_lint(
+            select=args.select, paths=args.paths
+        )
+    except ValueError as e:
+        _log.error(f"repro: {e}")
+        return 2
+    passes = args.select or list(analysis.PASSES)
+    if args.json:
+        analysis.write_report(
+            args.json, analysis.build_report(findings, passes, stats)
+        )
+        _log.info(f"lint: findings report written to {args.json}")
+    if findings:
+        print(analysis.render_findings(findings))
+    cells = stats.get("loopcheck_cells")
+    coverage = (
+        f", {stats.get('loopcheck_unique_loops')} generated loops "
+        f"verified over {cells} matrix cells"
+        if cells is not None
+        else ""
+    )
+    print(
+        f"lint: {len(findings)} finding(s) from "
+        f"{', '.join(passes)}{coverage}"
+    )
+    return 1 if findings else 0
+
+
 def cmd_cache(args) -> int:
     """Inspect or repair an on-disk result store."""
     from .engine import ResultCache, SweepJournal
@@ -764,6 +803,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--threads", type=int, default=4, choices=(1, 2, 4),
                    help="thread count for `fig why` (default: 4)")
     p.set_defaults(func=cmd_fig)
+
+    p = add_parser(
+        "lint",
+        help="static verification: determinism linter, counter-flow "
+             "check, generated-loop verification (docs/analysis.md)",
+    )
+    p.add_argument("--select", nargs="+", default=None,
+                   choices=("detlint", "counterflow", "loopcheck"),
+                   metavar="PASS",
+                   help="subset of passes (detlint, counterflow, "
+                        "loopcheck; default: all three)")
+    p.add_argument("--json", default=None, metavar="FILE",
+                   help="write the machine-readable findings report")
+    p.add_argument("--paths", nargs="+", default=None, metavar="PATH",
+                   help="files/directories for detlint (default: the "
+                        "installed repro package)")
+    p.set_defaults(func=cmd_lint)
 
     p = add_parser("claims", help="evaluate the paper's claims")
     p.set_defaults(func=cmd_claims)

@@ -45,6 +45,7 @@ import os
 import re
 from contextlib import contextmanager
 from pathlib import Path
+from typing import Any, Iterator
 
 from ..arch.config import MachineConfig
 from ..arch.scenarios import machine_fingerprint
@@ -55,7 +56,7 @@ from . import faults
 try:  # advisory cross-process locking; absent on some platforms
     import fcntl
 except ImportError:  # pragma: no cover - non-POSIX
-    fcntl = None
+    fcntl = None  # type: ignore[assignment]
 
 log = logging.getLogger(__name__)
 
@@ -110,7 +111,7 @@ def cache_key(
     return hashlib.sha256(blob.encode()).hexdigest()
 
 
-def payload_checksum(stats_dict: dict) -> str:
+def payload_checksum(stats_dict: dict[str, Any]) -> str:
     """SHA-256 over the canonical JSON of one entry's stats payload."""
     blob = json.dumps(stats_dict, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode()).hexdigest()
@@ -152,19 +153,19 @@ class ResultCache:
         except OSError:
             return []
 
-    def _entries(self):
+    def _entries(self) -> Iterator[Path]:
         for shard in self._shard_dirs():
             yield from sorted(shard.glob("*.json"))
 
     def _tmp_files(self) -> list[Path]:
         """Leftover ``*.tmp`` files from interrupted writers."""
-        out = []
+        out: list[Path] = []
         for shard in self._shard_dirs():
             out.extend(sorted(shard.glob("*.tmp")))
         return out
 
     @contextmanager
-    def _locked(self):
+    def _locked(self) -> Iterator[None]:
         """Advisory cross-process lock on the whole store.
 
         Serialises writers/maintenance across processes (and across
@@ -236,7 +237,9 @@ class ResultCache:
         self.hits += 1
         return stats
 
-    def put(self, key: str, stats: SimStats, meta: dict | None = None) -> None:
+    def put(
+        self, key: str, stats: SimStats, meta: dict[str, Any] | None = None
+    ) -> None:
         """Best-effort write: a cache that cannot persist an entry (full
         disk, shard path shadowed by a stray file) degrades to slower
         reruns, it does not fail the sweep that computed the result."""
@@ -327,9 +330,9 @@ class ResultCache:
                 pass
         return n
 
-    def _scan(self, *, quarantine: bool) -> dict:
+    def _scan(self, *, quarantine: bool) -> dict[str, Any]:
         """Walk every entry; classify (and optionally quarantine) it."""
-        report = {
+        report: dict[str, Any] = {
             "entries": 0, "ok": 0, "corrupt": 0, "stale": 0,
             "shadowed": 0, "tmp_files": len(self._tmp_files()),
             "quarantine": self.quarantine_count(),
@@ -344,7 +347,7 @@ class ResultCache:
             pass
         for path in list(self._entries()):
             report["entries"] += 1
-            reason = None
+            reason: str | None = None
             try:
                 with open(path) as f:
                     doc = json.load(f)
@@ -372,14 +375,14 @@ class ResultCache:
                     self._quarantine(path, reason)
         return report
 
-    def verify(self) -> dict:
+    def verify(self) -> dict[str, Any]:
         """Read-only integrity scan of every entry: counts of ok /
         corrupt (checksum, parse, payload) / stale-version entries,
         leftover tmp files, shadowed shard paths, and the current
         quarantine population.  Touches nothing."""
         return self._scan(quarantine=False)
 
-    def repair(self) -> dict:
+    def repair(self) -> dict[str, Any]:
         """Make the store clean: quarantine corrupt entries, delete
         stale-version entries, sweep leftover tmp files, prune emptied
         shard directories.  Returns the scan report plus what was
@@ -408,7 +411,7 @@ class ResultCache:
             )
         return report
 
-    def gc(self) -> dict:
+    def gc(self) -> dict[str, Any]:
         """:meth:`repair`, then drop the quarantine (the point of the
         quarantine is diagnosis; gc is the explicit "I am done looking"
         step) and report reclaimed entries."""

@@ -225,12 +225,12 @@ def _kill_pool(pool) -> None:
     for p in list(procs.values()):
         try:
             p.terminate()
-        except Exception:
-            pass
+        except Exception:  # repro-lint: ignore[silent-except]
+            pass  # best-effort: the process may already be dead
     try:
         pool.shutdown(wait=False, cancel_futures=True)
-    except Exception:
-        pass
+    except Exception:  # repro-lint: ignore[silent-except]
+        pass  # best-effort: the executor may already be broken
 
 
 class _MatrixRun:

@@ -26,12 +26,17 @@ packed capacities, the instruction target).  This module generates the
   bare static index suffices for no-split policies), eliminating one
   object construction per fetched instruction.
 
-The generated function is ``compile()``d/``exec``d once and memoised
-by :func:`loop_key` — policy shape + :func:`machine_fingerprint` (the
-same canonical hash the disk cache keys on) + the scenario parameters
-the source inlines.  Generation failures are memoised as ``None`` so
-:meth:`Processor.run` falls back to ``_run_fast`` silently (set
-``REPRO_SPECIALIZE_STRICT=1`` to re-raise instead, e.g. in CI).
+The generated function is statically verified
+(:mod:`repro.analysis.loopcheck`: closed free-name set, provable loop
+exits, every inlined literal re-derived from the resolved spec),
+then ``compile()``d/``exec``d once and memoised by :func:`loop_key` —
+policy shape + :func:`machine_fingerprint` (the same canonical hash
+the disk cache keys on) + the scenario parameters the source inlines.
+Generation failures and verification rejections are memoised as
+``None`` so :meth:`Processor.run` falls back to ``_run_fast``, with
+the rule names + cell fingerprint logged through the ``repro``
+logging tree (set ``REPRO_SPECIALIZE_STRICT=1`` to re-raise instead,
+e.g. in CI — a bad generation is then rejected before it executes).
 
 Process-pool sweeps cannot pickle code objects, so workers ship
 *source*: the parent pre-warms :func:`source_for` per distinct cell
@@ -46,6 +51,7 @@ the semantics replicated here are exactly those of ``_run_fast``
 
 from __future__ import annotations
 
+import logging
 import os
 import textwrap
 
@@ -55,15 +61,23 @@ from ..arch.scenarios import machine_fingerprint
 from ..core.policies import Policy
 from ..core.priority import make_priority
 
+_log = logging.getLogger("repro.pipeline.specialize")
+
 #: name of the generated function inside its module namespace
 LOOP_NAME = "__specialized_loop"
 
-#: re-raise generation/compilation failures instead of falling back
+#: re-raise generation/verification/compilation failures instead of
+#: falling back
 STRICT = bool(os.environ.get("REPRO_SPECIALIZE_STRICT"))
+
+#: statically verify every fresh generation before exec()
+#: (``repro.analysis.loopcheck``); set REPRO_SPECIALIZE_VERIFY=0 to
+#: skip the pre-exec check (the full matrix is still verified in CI)
+VERIFY = os.environ.get("REPRO_SPECIALIZE_VERIFY", "1") != "0"
 
 _sources: dict[tuple, str] = {}
 _loops: dict[tuple, object] = {}
-_stats = {"hits": 0, "misses": 0, "failures": 0}
+_stats = {"hits": 0, "misses": 0, "failures": 0, "rejected": 0}
 
 
 def cache_info() -> dict:
@@ -74,7 +88,7 @@ def cache_info() -> dict:
 def clear_cache() -> None:
     _sources.clear()
     _loops.clear()
-    _stats.update(hits=0, misses=0, failures=0)
+    _stats.update(hits=0, misses=0, failures=0, rejected=0)
 
 
 def loop_key(
@@ -137,13 +151,30 @@ def get_specialized_loop(
     n_benches: int,
 ):
     """Compiled monomorphic loop for one cell, or ``None`` if
-    generation failed (the caller then uses ``_run_fast``).  Both
-    outcomes are memoised by :func:`loop_key`."""
+    generation failed or was rejected by static verification (the
+    caller then uses ``_run_fast``).  Both outcomes are memoised by
+    :func:`loop_key`.
+
+    Every fresh generation is verified by
+    :func:`repro.analysis.loopcheck.check_source` *before* ``exec()``:
+    a loop with an unexpected free name, an unprovable exit edge or an
+    inlined literal that disagrees with the resolved spec is never
+    executed.  Under :data:`STRICT` the rejection raises
+    :class:`~repro.analysis.loopcheck.LoopVerificationError`;
+    otherwise it is memoised and logged (rule names + the cell's
+    machine fingerprint) through the ``repro`` logging tree — like
+    generation exceptions, which are also no longer silent.
+    """
     key = loop_key(policy, cfg, params, n_threads, n_benches)
     if key in _loops:
         _stats["hits"] += 1
         return _loops[key]
     _stats["misses"] += 1
+    fingerprint = machine_fingerprint(cfg)[:12]
+    cell = (
+        f"{policy.merge}-merge/{policy.split}-split"
+        f" nt={n_threads} machine={fingerprint}"
+    )
     try:
         src = _sources.get(key)
         if src is None:
@@ -151,6 +182,16 @@ def get_specialized_loop(
                 policy, cfg, params, n_threads, n_benches
             )
             _sources[key] = src
+        if VERIFY:
+            # imported late: analysis.loopcheck imports this module
+            from ..analysis import loopcheck
+
+            findings = loopcheck.check_source(
+                policy, cfg, params, n_threads, n_benches, src,
+                label=f"<specialized {cell}>",
+            )
+            if findings:
+                raise loopcheck.LoopVerificationError(findings)
         label = (
             f"<specialized {policy.merge}-merge/{policy.split}-split"
             f" nt={n_threads}>"
@@ -158,10 +199,26 @@ def get_specialized_loop(
         ns: dict = {}
         exec(compile(src, label, "exec"), ns)
         fn = ns[LOOP_NAME]
-    except Exception:
+    except Exception as e:
         if STRICT:
             raise
-        _stats["failures"] += 1
+        rules = sorted(
+            {f.rule for f in getattr(e, "findings", ())}
+        )
+        if rules:
+            _stats["rejected"] += 1
+            _log.warning(
+                "specialised loop rejected before exec for %s "
+                "(rules: %s); falling back to _run_fast",
+                cell, ", ".join(rules),
+            )
+        else:
+            _stats["failures"] += 1
+            _log.warning(
+                "specialised-loop generation failed for %s "
+                "(%s: %s); falling back to _run_fast",
+                cell, type(e).__name__, e,
+            )
         fn = None
     _loops[key] = fn
     return fn

@@ -1,0 +1,415 @@
+"""`repro.analysis`: the static-verification layer.
+
+Per-rule positive/negative fixtures for the determinism linter, the
+pragma contract, the full-matrix loopcheck clean run, tampered-source
+detection, the counterflow tier contract, and the injected-bad-codegen
+path: a monkeypatched generator emitting a stray global must be
+rejected *before* ``exec()`` under ``REPRO_SPECIALIZE_STRICT``, and
+must fall back to ``_run_fast`` (with ``loop_used`` provenance and
+bit-identical results) otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+
+import pytest
+
+from repro import cli
+from repro.analysis import (
+    DETLINT_RULES,
+    Finding,
+    LoopVerificationError,
+    check_counterflow,
+    check_matrix,
+    check_source,
+    lint_source,
+)
+from repro.analysis.base import Rule, rule
+from repro.analysis.counterflow import (
+    CounterSet,
+    compare_counter_sets,
+    tier_counter_sets,
+)
+from repro.arch.scenarios import MACHINE_PRESETS
+from repro.core.policies import BY_NAME
+from repro.pipeline import specialize
+from repro.pipeline.processor import Processor, SimParams
+
+from test_specialize import traces_for
+
+PAPER_CFG = MACHINE_PRESETS["paper"].machine
+
+
+def rules_of(findings):
+    return sorted({f.rule for f in findings})
+
+
+@pytest.fixture
+def fresh_cache():
+    specialize.clear_cache()
+    yield
+    specialize.clear_cache()
+
+
+# ----------------------------------------------------- detlint rules
+def test_mutable_default_rule():
+    bad = "def cook(steps=[], opts={}):\n    pass\n"
+    hits = lint_source(bad, module="repro.x")
+    assert rules_of(hits) == ["mutable-default"] and len(hits) == 2
+    # private helpers and None defaults are fine
+    ok = "def _cook(steps=[]):\n    pass\n\ndef cook(steps=None):\n    pass\n"
+    assert lint_source(ok, module="repro.x") == []
+
+
+def test_silent_except_rule():
+    bad = (
+        "try:\n    risky()\nexcept Exception:\n    pass\n"
+        "try:\n    risky()\nexcept:\n    continue_ = 0\n    pass\n"
+    )
+    hits = lint_source(bad, module="repro.x")
+    assert rules_of(hits) == ["silent-except"]
+    assert len(hits) == 1  # the second handler has a real statement
+    ok = (
+        "try:\n    risky()\nexcept ValueError:\n    pass\n"
+        "try:\n    risky()\nexcept Exception:\n    log.warning('x')\n"
+    )
+    assert lint_source(ok, module="repro.x") == []
+
+
+def test_wallclock_rule_scoped():
+    src = "import time\nstamp = time.time()\n"
+    assert rules_of(lint_source(src, module="repro.pipeline.foo")) == [
+        "wallclock"
+    ]
+    # telemetry timestamps outside simulator scope are fine
+    assert lint_source(src, module="repro.obs.telemetry") == []
+    # perf_counter is explicitly allowed even in scope
+    ok = "import time\nt0 = time.perf_counter()\n"
+    assert lint_source(ok, module="repro.pipeline.foo") == []
+
+
+def test_unseeded_random_rule():
+    bad = "import random\nx = random.random()\nr = random.Random()\n"
+    hits = lint_source(bad, module="repro.core.foo")
+    assert rules_of(hits) == ["unseeded-random"] and len(hits) == 2
+    ok = "import random\nr = random.Random(1234)\nx = r.random()\n"
+    assert lint_source(ok, module="repro.core.foo") == []
+
+
+def test_id_key_rule():
+    bad = "memo[id(cfg)] = loop\n"
+    assert rules_of(lint_source(bad, module="repro.x")) == ["id-key"]
+
+
+def test_set_iter_rule():
+    bad = (
+        "for name in {'a', 'b'}:\n    use(name)\n"
+        "out = [f(x) for x in set(items)]\n"
+    )
+    hits = lint_source(bad, module="repro.engine.foo")
+    assert rules_of(hits) == ["set-iter"] and len(hits) == 2
+    ok = "for name in sorted({'a', 'b'}):\n    use(name)\n"
+    assert lint_source(ok, module="repro.engine.foo") == []
+    # out of scope (e.g. figure rendering) is not flagged
+    assert lint_source(bad, module="repro.harness.figures") == []
+
+
+def test_worker_raise_rule():
+    bad = (
+        "def work(payload):\n    raise ValueError('boom')\n"
+        "def local(x):\n    raise ValueError(x)\n"
+        "fut = pool.submit(work, payload)\n"
+    )
+    hits = lint_source(bad, module="repro.engine.runner")
+    assert rules_of(hits) == ["worker-raise"] and len(hits) == 1
+    ok = (
+        "def work(payload):\n    return {'error': 'boom'}\n"
+        "fut = pool.submit(work, payload)\n"
+    )
+    assert lint_source(ok, module="repro.engine.runner") == []
+
+
+def test_pragma_suppresses_named_rule_only():
+    line = "memo[id(cfg)] = loop"
+    assert lint_source(
+        line + "  # repro-lint: ignore[id-key]\n", module="repro.x"
+    ) == []
+    assert lint_source(
+        line + "  # repro-lint: ignore\n", module="repro.x"
+    ) == []
+    # a pragma naming some other rule does not suppress
+    hits = lint_source(
+        line + "  # repro-lint: ignore[set-iter]\n", module="repro.x"
+    )
+    assert rules_of(hits) == ["id-key"]
+
+
+def test_rule_registry_contract():
+    names = [r.name for r in DETLINT_RULES]
+    assert len(names) == len(set(names))
+    assert all(r.description for r in DETLINT_RULES)
+    # duplicate registration is rejected
+    with pytest.raises(ValueError):
+
+        @rule
+        class Clash(Rule):
+            name = names[0]
+            description = "dup"
+
+
+def test_custom_rule_plugs_in():
+    class NoPrint(Rule):
+        name = "no-print"
+        description = "print() in library code"
+
+        def visit_Call(self, node):
+            import ast
+
+            if isinstance(node.func, ast.Name) and node.func.id == "print":
+                self.report(node, "print in library code")
+            self.generic_visit(node)
+
+    hits = lint_source("print('hi')\n", module="repro.x", rules=[NoPrint])
+    assert rules_of(hits) == ["no-print"]
+
+
+def test_repo_source_tree_is_clean():
+    """The shipped package must lint clean (the acceptance gate CI
+    enforces with ``repro lint``)."""
+    from repro.analysis import run_lint
+
+    findings, _ = run_lint(select=["detlint"])
+    assert findings == []
+
+
+# ------------------------------------------------------- loopcheck
+def test_loopcheck_full_matrix_clean():
+    """Every distinct generated loop of the machine x memory x policy
+    x nt x multitasking matrix passes static verification."""
+    report = check_matrix(threads=(1, 2, 4), benches=(1, 4))
+    assert report.findings == []
+    assert report.cells == 1920
+    assert report.unique_loops == 1920
+
+
+def _cell(policy="CCSI AS", nt=2, nb=2):
+    params = SimParams(target_instructions=500, timeslice=200, seed=7)
+    return BY_NAME[policy], PAPER_CFG, params, nt, nb
+
+
+def test_loopcheck_accepts_real_generation():
+    policy, cfg, params, nt, nb = _cell()
+    src = specialize.generate_loop_source(policy, cfg, params, nt, nb)
+    assert check_source(policy, cfg, params, nt, nb, src) == []
+
+
+def test_loopcheck_flags_stray_free_name():
+    policy, cfg, params, nt, nb = _cell()
+    src = specialize.generate_loop_source(policy, cfg, params, nt, nb)
+    src += "    _evil_global += 1\n"
+    hits = check_source(policy, cfg, params, nt, nb, src)
+    assert "loopcheck-free-name" in rules_of(hits)
+    assert any("_evil_global" in f.message for f in hits)
+
+
+def test_loopcheck_flags_unapproved_builtin():
+    policy, cfg, params, nt, nb = _cell()
+    src = specialize.generate_loop_source(policy, cfg, params, nt, nb)
+    src += "    leak = globals()\n"
+    hits = check_source(policy, cfg, params, nt, nb, src)
+    assert rules_of(hits) == ["loopcheck-free-name"]
+
+
+def test_loopcheck_flags_literal_mismatch():
+    """A stale inlined constant (generator bug) is caught by
+    re-deriving the value from the spec."""
+    policy, cfg, params, nt, nb = _cell()
+    src = specialize.generate_loop_source(policy, cfg, params, nt, nb)
+    needle = f"bstats.instructions >= {params.target_instructions}"
+    assert needle in src
+    tampered = src.replace(
+        needle, f"bstats.instructions >= {params.target_instructions + 1}"
+    )
+    hits = check_source(policy, cfg, params, nt, nb, tampered)
+    assert rules_of(hits) == ["loopcheck-literal"]
+    assert any("target" in f.message for f in hits)
+
+
+def test_loopcheck_flags_wrong_timeslice():
+    policy, cfg, params, nt, nb = _cell()
+    src = specialize.generate_loop_source(policy, cfg, params, nt, nb)
+    tampered = src.replace(
+        f"next_switch = cycle + {params.timeslice}",
+        f"next_switch = cycle + {params.timeslice * 2}",
+    )
+    assert tampered != src
+    hits = check_source(policy, cfg, params, nt, nb, tampered)
+    assert rules_of(hits) == ["loopcheck-literal"]
+
+
+def test_loopcheck_flags_unbounded_loop():
+    policy, cfg, params, nt, nb = _cell()
+    src = specialize.generate_loop_source(policy, cfg, params, nt, nb)
+    src += "    while True:\n        cycle += 0\n"
+    hits = check_source(policy, cfg, params, nt, nb, src)
+    assert rules_of(hits) == ["loopcheck-unbounded"]
+    # with a break at its own level the loop is provably exitable
+    src_ok = src.replace("        cycle += 0", "        break")
+    assert check_source(policy, cfg, params, nt, nb, src_ok) == []
+
+
+def test_loopcheck_flags_module_level_statement():
+    policy, cfg, params, nt, nb = _cell()
+    src = specialize.generate_loop_source(policy, cfg, params, nt, nb)
+    hits = check_source(
+        policy, cfg, params, nt, nb, "import os\n" + src
+    )
+    assert "loopcheck-structure" in rules_of(hits)
+
+
+# ----------------------------------------------------- counterflow
+def test_counterflow_clean():
+    assert check_counterflow() == []
+
+
+def test_counterflow_flags_missing_counter():
+    sets = {s.tier: s for s in tier_counter_sets()}
+    crippled = sets["fast"]
+    sets["fast"] = CounterSet(
+        "fast",
+        frozenset(crippled.sim - {"operations"}),
+        crippled.bench,
+    )
+    hits = compare_counter_sets(sets.values())
+    assert hits and all(f.rule == "counterflow" for f in hits)
+    assert any("operations" in f.message for f in hits)
+
+
+def test_counterflow_no_split_omission_is_proven_constant():
+    """SMT/CSMT specialised loops omit stall_cycles and
+    split_instructions; the policy shape (split == none) proves them
+    constant, so that omission is accepted — for a split policy the
+    same omission must fail."""
+    sets = {s.tier: s for s in tier_counter_sets()}
+    smt = sets["specialized:SMT"]
+    assert "stall_cycles" not in smt.sim
+    assert compare_counter_sets(sets.values()) == []
+
+    ccsi = sets["specialized:CCSI AS"]
+    sets["specialized:CCSI AS"] = CounterSet(
+        ccsi.tier,
+        frozenset(ccsi.sim - {"stall_cycles"}),
+        ccsi.bench,
+    )
+    hits = compare_counter_sets(sets.values())
+    assert any("stall_cycles" in f.message for f in hits)
+
+
+def test_counterflow_attribution_is_reference_exclusive():
+    sets = {s.tier: s for s in tier_counter_sets()}
+    assert "attribution" in sets["reference"].sim
+    assert "attribution" not in sets["fast"].sim
+
+
+# --------------------------------------- specializer pre-exec gating
+def _corrupting_generator(monkeypatch):
+    """Patch the generator to emit an otherwise-valid loop that reads
+    a stray module global (the injected-bad-codegen case)."""
+    real = specialize.generate_loop_source
+
+    def corrupt(*args, **kwargs):
+        return real(*args, **kwargs) + "    _evil_global += 1\n"
+
+    monkeypatch.setattr(specialize, "generate_loop_source", corrupt)
+
+
+def test_strict_rejects_injected_bad_codegen_before_exec(
+    fresh_cache, monkeypatch
+):
+    traces = traces_for("paper")
+    params = SimParams(target_instructions=500, timeslice=200, seed=7)
+    _corrupting_generator(monkeypatch)
+    monkeypatch.setattr(specialize, "STRICT", True)
+    proc = Processor(BY_NAME["CCSI AS"], traces, 2, PAPER_CFG, params)
+    with pytest.raises(LoopVerificationError) as exc:
+        proc.run()
+    assert any(
+        f.rule == "loopcheck-free-name" for f in exc.value.findings
+    )
+    # rejected before exec: nothing was compiled or memoised
+    assert specialize.cache_info()["compiled"] == 0
+
+
+def test_nonstrict_rejection_falls_back_and_logs(
+    fresh_cache, monkeypatch, caplog
+):
+    traces = traces_for("paper")
+    params = SimParams(target_instructions=500, timeslice=200, seed=7)
+    _corrupting_generator(monkeypatch)
+    monkeypatch.setattr(specialize, "STRICT", False)
+
+    with caplog.at_level(
+        logging.WARNING, logger="repro.pipeline.specialize"
+    ):
+        proc = Processor(BY_NAME["CCSI AS"], traces, 2, PAPER_CFG, params)
+        stats = proc.run()
+    assert proc.loop_used == "fast"
+    info = specialize.cache_info()
+    assert info["rejected"] == 1 and info["failures"] == 0
+    # the rejection names the rule and the cell through the repro tree
+    assert any(
+        "loopcheck-free-name" in r.message and "machine=" in r.message
+        for r in caplog.records
+    )
+
+    # bit-identical to the reference oracle despite the fallback
+    ref = Processor(
+        BY_NAME["CCSI AS"], traces, 2, PAPER_CFG, params,
+        force_reference=True,
+    ).run()
+    assert stats.to_dict() == ref.to_dict()
+
+    # the rejection is memoised: a second processor takes the memo hit
+    again = Processor(BY_NAME["CCSI AS"], traces, 2, PAPER_CFG, params)
+    again.run()
+    assert again.loop_used == "fast"
+    info = specialize.cache_info()
+    assert info["rejected"] == 1 and info["hits"] == 1
+
+
+# ------------------------------------------------------------- CLI
+def test_cli_lint_clean_run(tmp_path, capsys):
+    out = tmp_path / "report.json"
+    rc = cli.main(
+        ["lint", "--select", "detlint", "counterflow",
+         "--json", str(out)]
+    )
+    assert rc == 0
+    report = json.loads(out.read_text())
+    assert report["clean"] is True
+    assert report["passes"] == ["detlint", "counterflow"]
+    assert "0 finding(s)" in capsys.readouterr().out
+
+
+def test_cli_lint_reports_findings(tmp_path, capsys):
+    bad = tmp_path / "repro"
+    bad.mkdir()
+    (bad / "__init__.py").write_text("")
+    (bad / "buggy.py").write_text("def api(acc=[]):\n    return acc\n")
+    out = tmp_path / "report.json"
+    rc = cli.main(
+        ["lint", "--select", "detlint", "--paths", str(bad),
+         "--json", str(out)]
+    )
+    assert rc == 1
+    report = json.loads(out.read_text())
+    assert report["clean"] is False
+    assert report["counts"] == {"mutable-default": 1}
+    assert "mutable-default" in capsys.readouterr().out
+
+
+def test_cli_lint_rejects_unknown_pass(capsys):
+    with pytest.raises(SystemExit):
+        cli.main(["lint", "--select", "nonsense"])

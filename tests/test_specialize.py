@@ -203,8 +203,11 @@ def test_hooks_and_force_reference_take_reference_loop():
 
 
 def test_broken_generation_falls_back_to_fast(fresh_cache, monkeypatch):
-    """A generator bug must not change results: the dispatch memoises
-    the failure and lands on ``_run_fast`` silently (non-strict)."""
+    """A generator bug must not change results: pre-exec verification
+    (``repro.analysis.loopcheck``) rejects the source, the dispatch
+    memoises the rejection and lands on ``_run_fast``."""
+    from repro.analysis import LoopVerificationError
+
     traces = traces_for("paper")
     cfg = MACHINE_PRESETS["paper"].machine
     params = SimParams(target_instructions=800, timeslice=200, seed=9)
@@ -217,17 +220,17 @@ def test_broken_generation_falls_back_to_fast(fresh_cache, monkeypatch):
     proc = Processor(BY_NAME["CCSI AS"], traces, 2, cfg, params)
     stats = proc.run()
     assert proc.loop_used == "fast"
-    assert specialize.cache_info()["failures"] == 1
+    assert specialize.cache_info()["rejected"] == 1
 
     ref = Processor(BY_NAME["CCSI AS"], traces, 2, cfg, params,
                     force_reference=True).run()
     assert stats.to_dict() == ref.to_dict()
 
-    # strict mode re-raises instead of falling back
+    # strict mode rejects before exec instead of falling back
     specialize.clear_cache()
     monkeypatch.setattr(specialize, "STRICT", True)
     strict_proc = Processor(BY_NAME["CCSI AS"], traces, 2, cfg, params)
-    with pytest.raises(SyntaxError):
+    with pytest.raises(LoopVerificationError):
         strict_proc.run()
 
 
