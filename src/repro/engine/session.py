@@ -92,6 +92,7 @@ class SimulationSession:
         telemetry: str | None = None,
         retry: RetryPolicy | None = None,
         fault_plan: FaultPlan | str | None = None,
+        batch: bool = False,
     ):
         if machine is not None:
             # a machine scenario supplies the whole config (its own
@@ -136,9 +137,20 @@ class SimulationSession:
             else FaultPlan.parse(fault_plan) if fault_plan
             else FaultPlan.from_env()
         )
+        #: default for ``sweep(batch=...)``: group eligible cells by
+        #: scenario shape and run each group in one lockstep
+        #: numpy-vectorised lane (:mod:`repro.pipeline.batch`,
+        #: ``docs/performance.md``); results stay bit-identical to
+        #: scalar execution
+        self.batch = batch
         #: cells that exhausted their retry budget across this
         #: session's sweeps (:class:`~repro.engine.runner.CellFailure`)
         self.failures: list = []
+        #: session-owned worker pool, created lazily by sweeps and
+        #: reused across them (workers pre-import numpy + the
+        #: simulator); ``close()`` releases it
+        self._pool = None
+        self._pool_jobs = 0
         self._memo: dict[tuple, SimStats] = {}
         #: machine configs resolved per (machine preset, memory preset)
         #: sweep-axis coordinate, derived from the session config /
@@ -155,6 +167,39 @@ class SimulationSession:
         #: always accumulates in memory; ``telemetry=`` names a JSONL
         #: file every record is also appended to
         self.telemetry = TelemetryLedger(telemetry)
+
+    # ------------------------------------------------------------ pool
+    def _ensure_pool(self, jobs: int):
+        """The session's worker pool, spawned on first use and reused
+        by every subsequent sweep (a respawn per sweep would pay worker
+        startup + numpy import for each one).  A pool sized differently
+        from the request is replaced."""
+        from concurrent.futures import ProcessPoolExecutor
+
+        from .runner import _pool_warm_init
+
+        if self._pool is not None and self._pool_jobs != jobs:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=jobs, initializer=_pool_warm_init
+            )
+            self._pool_jobs = jobs
+        return self._pool
+
+    def _discard_pool(self) -> None:
+        """Forget the pool without joining it (the runner already
+        terminated its workers — a broken pool cannot be reused)."""
+        self._pool = None
+
+    def close(self) -> None:
+        """Release the session's worker pool, if one was ever
+        spawned.  Safe to call repeatedly; the session stays usable
+        (the next sweep spawns a fresh pool)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
 
     # ------------------------------------------------------------ keys
     def params(self, machine: str | None = None) -> SimParams:
@@ -611,6 +656,7 @@ class SimulationSession:
         memory=None,
         machine=None,
         resume: bool = False,
+        batch: bool | None = None,
     ) -> dict[tuple, SimStats]:
         """Run a policy × workload × thread-count matrix, optionally on
         a process pool.  Returns ``{(policy, workload, nt): SimStats}``;
@@ -634,7 +680,13 @@ class SimulationSession:
         up to ``retry.max_failures``.  ``resume=True`` first diffs the
         matrix against the journal + store and logs the resume plan;
         completed cells are never re-simulated either way
-        (``docs/robustness.md``)."""
+        (``docs/robustness.md``).
+
+        ``batch=True`` (default: the session's ``batch`` flag) groups
+        eligible cells by scenario shape and runs each group in one
+        lockstep numpy lane (:mod:`repro.pipeline.batch`); ineligible
+        or fault-injected cells run on the scalar tiers, and every
+        result is bit-identical to a scalar sweep."""
         from .runner import run_matrix
 
         if policies is None:
@@ -672,6 +724,7 @@ class SimulationSession:
         return run_matrix(
             self, specs, self.jobs if jobs is None else jobs,
             resume=resume,
+            batch=self.batch if batch is None else batch,
         )
 
     # ----------------------------------------------------- conveniences

@@ -1,0 +1,921 @@
+"""Batched structure-of-arrays cell execution — the fourth run-loop tier.
+
+A sweep is mostly many *independent* cells that share one scenario
+shape: same policy, machine, memory preset, thread count, timeslice,
+target — differing only in which benchmarks fill the workload.  Those
+cells execute the same no-split issue pass over the same decision
+structure, so the whole group can run in lockstep with the per-cell
+scalar state (cycle counters, per-thread fetch/stall times, per-bench
+positions, cache tag/LRU state) laid out as numpy arrays over a *cell
+axis* ("lanes").  One vectorised step then advances every live lane by
+one cycle, and :meth:`Processor._fast_forward`'s bulk idle skip becomes
+an elementwise minimum across lanes.
+
+The tier is **bit-identical** to the scalar tiers: every rule of the
+no-split fast path (fetch gating, I-line tracking, SWAR op-merge /
+cluster-merge, blocking-cache miss serialisation, retire/respawn,
+timeslice drain + random context switches) is replicated exactly, and
+the shared-seed RNG draw sequence is identical across lanes by
+construction (every lane sees the same ``random.Random(seed)`` stream,
+so the group consumes one lazily-extended list of draws).
+
+Within one cycle the scalar loop walks threads in priority order, but
+almost none of that order is observable: fetch gating, I-line checks
+and retires are slot-local, and issue order only matters when the
+cycle's offers *collide* — on issue capacity, or on a cache set two
+threads probe in the same cycle.  The executor therefore runs each
+cycle as bulk slot-order phases over ``[lanes, slots]`` arrays, with an
+all-offers-fit fast path for the merge, and drops to priority-ordered
+subset work only for the (rare) lanes where order is observable.
+
+Eligibility (:func:`batch_eligible`) is deliberately narrow — the
+no-split policies (SMT / CSMT) on flat or perfect memory under
+round-robin priority, i.e. the shapes whose per-cycle pass has no
+data-dependent structure.  Everything else (split-issue policies, L2 /
+prefetch / DRAM / MSHR presets, hooks, attribution, fault-injected
+cells) ejects to the scalar tiers; the engine wires that up in
+:func:`repro.engine.runner.run_matrix`.
+
+Grouping key: :func:`batch_key` — the specialisation ``loop_key``
+(which already folds in policy, machine fingerprint, thread count,
+timeslice, target) extended with workload size, seed and renaming, so
+every lane of a group walks the same decision structure.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from ..arch.config import MachineConfig
+from ..arch.resources import CLUSTER_BITS
+from ..core.policies import Policy
+from ..core.renaming import renaming_vector
+from .processor import SimParams
+from .specialize import loop_key
+from .stats import BenchStats, SimStats
+from .trace import TraceBundle
+
+__all__ = ["batch_eligible", "batch_key", "run_batch"]
+
+#: ``loop_used`` value recorded for cells resolved by this tier
+LOOP_NAME = "batch"
+
+#: popcount table for cluster-mask disjointness (masks are < 2**8:
+#: eligibility caps cluster merging at 8 clusters)
+_POPCNT = np.array([bin(i).count("1") for i in range(256)], dtype=np.int64)
+
+
+def batch_eligible(
+    policy: Policy, cfg: MachineConfig, params: SimParams
+) -> bool:
+    """Can cells of this shape run on the batched SoA tier?
+
+    * no-split policies only (SMT / CSMT): a pending instruction is a
+      pure function of the bench position, so per-lane pending state
+      collapses to one flag;
+    * flat or perfect memory: L2 / prefetcher / DRAM / MSHR state does
+      not vectorise (and is where the scalar tiers earn their keep);
+    * round-robin priority (the paper model; ``orders[cycle % nt]``
+      vectorises to ``(cycle + k) % nt``);
+    * op-level merge needs the packed SWAR word inside one uint64 lane
+      (the subtract-borrow trick is exact there because every
+      ``remaining | guards`` field is >= 8 > 7 >= any usage field);
+      cluster-level merge needs masks inside the popcount table.
+    """
+    if policy.split != "none":
+        return False
+    if params.priority != "round-robin":
+        return False
+    if not (params.perfect_memory or cfg.memory.is_flat):
+        return False
+    if policy.merge == "op":
+        if cfg.n_clusters * CLUSTER_BITS > 64:
+            return False
+    elif cfg.n_clusters > 8:
+        return False
+    return True
+
+
+def batch_key(
+    policy: Policy,
+    cfg: MachineConfig,
+    params: SimParams,
+    n_threads: int,
+    n_benches: int,
+) -> tuple:
+    """Group identity: cells sharing this key run in one lockstep lane
+    group (same decision structure, same shared RNG draw sequence)."""
+    return loop_key(policy, cfg, params, n_threads, n_benches) + (
+        n_benches,
+        params.seed,
+        params.renaming,
+    )
+
+
+# ---------------------------------------------------------------------------
+# vectorised LRU cache
+# ---------------------------------------------------------------------------
+
+
+def _lru_access(
+    tags: np.ndarray,
+    dirty: np.ndarray | None,
+    lanes: np.ndarray,
+    lines: np.ndarray,
+    is_write: np.ndarray | None,
+) -> tuple[np.ndarray, np.ndarray | None]:
+    """One probe+fill per listed lane against a ``[L, sets, ways]`` tag
+    store (way 0 = LRU, last way = MRU; ``-1`` marks an empty way,
+    which can never match a real line and evicts for free — exactly the
+    insertion-ordered-dict behaviour of :class:`repro.memory.cache.
+    Cache` with empty slots ordered oldest).
+
+    Returns ``(miss_mask, dirty_evict_mask)``; updates in place.  The
+    caller guarantees all ``(lane, set)`` pairs are distinct within one
+    call (same-set probes of one lane are serialised by priority-order
+    replay), so the scatters never collide.
+    """
+    n_ways = tags.shape[2]
+    set_idx = lines % tags.shape[1]
+    ways = tags[lanes, set_idx]  # [N, W]
+    eq = ways == lines[:, None]
+    hit = eq.any(axis=1)
+    hway = np.where(hit, eq.argmax(axis=1), 0)[:, None]
+    # permutation [0..h-1, h+1..W-1, h]: the touched (or victim, h=0)
+    # way moves to the MRU slot, younger ways shift down
+    keep = np.arange(n_ways - 1) < hway
+    new_tags = np.empty_like(ways)
+    new_tags[:, :-1] = np.where(keep, ways[:, :-1], ways[:, 1:])
+    new_tags[:, -1] = lines
+    evict_dirty: np.ndarray | None = None
+    if dirty is not None:
+        dw = dirty[lanes, set_idx]
+        # victim dirty is read before the MRU slot is rewritten; the
+        # hit way's old dirty bit rides along via the match mask
+        evict_dirty = (~hit) & (dw[:, 0] != 0)
+        assert is_write is not None
+        hit_dirty = (eq & (dw != 0)).any(axis=1)
+        new_d = np.empty_like(dw)
+        new_d[:, :-1] = np.where(keep, dw[:, :-1], dw[:, 1:])
+        new_d[:, -1] = (hit & hit_dirty) | (is_write != 0)
+        dirty[lanes, set_idx] = new_d
+    tags[lanes, set_idx] = new_tags
+    return ~hit, evict_dirty
+
+
+def _bulk_probe(
+    tags: np.ndarray,
+    dirty: np.ndarray | None,
+    lanes: np.ndarray,
+    rank: np.ndarray,
+    lines: np.ndarray,
+    is_write: np.ndarray | None,
+    n_sets: int,
+    owner: np.ndarray,
+    dstamp: np.ndarray,
+    sid: int,
+) -> tuple[np.ndarray, np.ndarray | None]:
+    """All of one cycle's probes against one cache, in scalar order.
+
+    Probes to distinct ``(lane, set)`` pairs commute, so they go out as
+    one :func:`_lru_access` pass; only same-set probes of one lane must
+    observe each other's fills.  Collisions are detected in O(n) with a
+    scatter/gather race on the persistent ``owner`` scratch (duplicate
+    keys lose the race) — no sort on the common no-collision cycle.
+    The colliding subset is marked in ``dstamp`` with the per-call
+    ``sid`` (so the scratch never needs clearing), lexsorted by (set
+    key, within-lane scalar order ``rank``), and issued in *rounds*:
+    round r fires every contended (lane, set)'s r-th probe.  Returns
+    per-probe ``(miss, dirty_evict)`` masks aligned to the input order.
+    """
+    n = lanes.size
+    set_idx = lines % n_sets
+    key = lanes * n_sets + set_idx
+    idx = np.arange(n)
+    owner[key] = idx
+    lost = owner[key] != idx
+    any_dup = bool(lost.any())
+    # MRU fast path: an uncontended probe that hits the MRU way (and
+    # would not newly dirty it) leaves tags, LRU order and dirty bits
+    # untouched — it is a pure hit, no state transition at all.
+    # Contended sets are excluded: an earlier same-cycle probe may
+    # reorder the set under this probe's feet.
+    mru = tags[lanes, set_idx, -1] == lines
+    if is_write is not None:
+        mru &= (is_write == 0) | (dirty[lanes, set_idx, -1] != 0)
+    if not any_dup:
+        if not mru.any():
+            return _lru_access(tags, dirty, lanes, lines, is_write)
+        miss = np.zeros(n, dtype=bool)
+        evict = np.zeros(n, dtype=bool) if dirty is not None else None
+        work = np.nonzero(~mru)[0]
+        if work.size:
+            m, e = _lru_access(
+                tags,
+                dirty,
+                lanes[work],
+                lines[work],
+                None if is_write is None else is_write[work],
+            )
+            miss[work] = m
+            if evict is not None:
+                evict[work] = e
+        return miss, evict
+    dstamp[key[lost]] = sid
+    indup = dstamp[key] == sid
+    miss = np.zeros(n, dtype=bool)
+    evict = np.zeros(n, dtype=bool) if dirty is not None else None
+    work = np.nonzero(~indup & ~mru)[0]
+    if work.size:
+        m, e = _lru_access(
+            tags,
+            dirty,
+            lanes[work],
+            lines[work],
+            None if is_write is None else is_write[work],
+        )
+        miss[work] = m
+        if evict is not None:
+            evict[work] = e
+    # contended (lane, set) groups, lexsorted by within-lane scalar
+    # order inside each group
+    pending = np.nonzero(indup)[0]
+    pending = pending[np.lexsort((rank[pending], key[pending]))]
+    ks = key[pending]
+    ls = lines[pending]
+    # coalesce same-line runs: trailing probes ride the head's fill as
+    # pure hits (blocking fill is immediate), ORing their writes in
+    tail = np.zeros(pending.size, dtype=bool)
+    tail[1:] = (ks[1:] == ks[:-1]) & (ls[1:] == ls[:-1])
+    if tail.any():
+        heads = ~tail
+        if is_write is not None:
+            gid = np.cumsum(heads) - 1
+            iwp = np.bincount(gid, weights=is_write[pending]) > 0
+        else:
+            iwp = None
+        pending = pending[heads]
+        ks = ks[heads]
+    elif is_write is not None:
+        iwp = is_write[pending]
+    else:
+        iwp = None
+    while pending.size:
+        # each round fires the head probe of every contended group;
+        # dropping heads keeps the remainder key-sorted, rank-ordered
+        first = np.empty(pending.size, dtype=bool)
+        first[0] = True
+        np.not_equal(ks[1:], ks[:-1], out=first[1:])
+        sel = pending[first]
+        m, e = _lru_access(
+            tags,
+            dirty,
+            lanes[sel],
+            lines[sel],
+            None if iwp is None else iwp[first],
+        )
+        miss[sel] = m
+        if evict is not None:
+            evict[sel] = e
+        rest = ~first
+        pending = pending[rest]
+        ks = ks[rest]
+        if iwp is not None:
+            iwp = iwp[rest]
+    return miss, evict
+
+
+# ---------------------------------------------------------------------------
+# stats assembly (parsed by repro.analysis.counterflow: the attribute
+# writes below on ``stats`` / ``bstats`` are the tier's counter
+# contract — keep them as plain attribute assignments)
+# ---------------------------------------------------------------------------
+
+
+def _assemble_stats(
+    cfg: MachineConfig,
+    perfect: bool,
+    members: Sequence[str],
+    lane: Mapping[str, int],
+    per_bench: Sequence[tuple[int, int, int]],
+    packet: Mapping[int, int],
+) -> SimStats:
+    """Materialise one lane's counters as a scalar-identical
+    :class:`SimStats`."""
+    stats = SimStats(issue_width=cfg.issue_width)
+    stats.cycles = lane["cycles"]
+    stats.operations = lane["operations"]
+    stats.instructions = lane["instructions"]
+    stats.vertical_waste = lane["vertical_waste"]
+    # no-split structural constants (SMT/CSMT never buffer stores or
+    # split), written explicitly: they are part of the counter contract
+    stats.stall_cycles = 0
+    stats.split_instructions = 0
+    stats.icache_accesses = lane["icache_accesses"]
+    stats.icache_misses = lane["icache_misses"]
+    stats.dcache_accesses = lane["dcache_accesses"]
+    stats.dcache_misses = lane["dcache_misses"]
+    stats.context_switches = lane["context_switches"]
+    stats.packet_threads = dict(packet)
+    for name, (instrs, ops, respawns) in zip(members, per_bench):
+        bstats = BenchStats(name)
+        bstats.instructions = instrs
+        bstats.operations = ops
+        bstats.respawns = respawns
+        # duplicate members: last one wins, like the scalar constructor
+        stats.per_bench[name] = bstats
+    ia, im = lane["icache_accesses"], lane["icache_misses"]
+    da, dm = lane["dcache_accesses"], lane["dcache_misses"]
+    if perfect:
+        im = dm = 0
+    levels = {
+        "l1i": {
+            "accesses": ia, "hits": ia - im, "misses": im, "writebacks": 0,
+        },
+        "l1d": {
+            "accesses": da, "hits": da - dm, "misses": dm,
+            "writebacks": 0 if perfect else lane["dcache_writebacks"],
+        },
+    }
+    stats.memory = {"preset": cfg.memory.name, "levels": levels}
+    return stats
+
+
+# ---------------------------------------------------------------------------
+# trace segments
+# ---------------------------------------------------------------------------
+
+
+def _build_segments(
+    names: Sequence[str],
+    bundles: Mapping[str, TraceBundle],
+    rots: Sequence[int],
+    cfg: MachineConfig,
+    op_merge: bool,
+):
+    """Flatten every (benchmark, rotation) trace into shared pos-indexed
+    arrays.  A lane's slot then addresses its instruction stream as
+    ``base[(name, slot_rotation)] + bench.pos`` — the whole static +
+    dynamic lookup chain of the scalar tiers (idx -> static table ->
+    packed/cmask/nops/pc, addr_rows -> per-cluster addresses) is
+    precomputed per *position*, since the no-split pass only ever reads
+    the instruction at the current position."""
+    iline_shift = cfg.icache.line_bytes.bit_length() - 1
+    dline_shift = cfg.dcache.line_bytes.bit_length() - 1
+    base: dict[tuple[int, int], int] = {}
+    nops_p, iline_p, merge_p, taken_p = [], [], [], []
+    cnt_p, line_p, wr_p = [], [], []
+    total = 0
+    m_max = 0
+    for nid, name in enumerate(names):
+        bundle = bundles[name]
+        idx = np.asarray(bundle.idx, dtype=np.int64)
+        length = len(idx)
+        taken = np.asarray(bundle.taken, dtype=np.int32)
+        for rot in rots:
+            st, rows = bundle.rotated(rot)
+            base[(nid, rot)] = total
+            total += length
+            nops = np.asarray(st.nops, dtype=np.int32)[idx]
+            iline = np.asarray(st.pc, dtype=np.int64)[idx] >> iline_shift
+            if op_merge:
+                merge = np.asarray(st.packed, dtype=np.uint64)[idx]
+            else:
+                merge = np.asarray(st.cmask, dtype=np.uint64)[idx]
+            mem_cm = np.asarray(st.mem_cmask, dtype=np.int64)[idx]
+            store_cm = np.asarray(st.store_cmask, dtype=np.int64)[idx]
+            addrs = np.asarray(rows, dtype=np.int64)
+            if addrs.size == 0:
+                addrs = addrs.reshape(length, cfg.n_clusters)
+            # memory entries per position, in increasing-cluster order
+            # (the order blocking misses serialise in)
+            sels = [
+                (((mem_cm >> c) & 1) != 0) & (addrs[:, c] >= 0)
+                for c in range(cfg.n_clusters)
+            ]
+            count = np.zeros(length, dtype=np.int32)
+            for sel in sels:
+                count += sel
+            width = int(count.max()) if length else 0
+            m_max = max(m_max, width)
+            lines = np.zeros((length, width), dtype=np.int64)
+            wr = np.zeros((length, width), dtype=np.int8)
+            fill = np.zeros(length, dtype=np.int64)
+            for c, sel in enumerate(sels):
+                r = np.nonzero(sel)[0]
+                if r.size:
+                    lines[r, fill[r]] = addrs[r, c] >> dline_shift
+                    wr[r, fill[r]] = (store_cm[r] >> c) & 1
+                    fill[r] += 1
+            nops_p.append(nops)
+            iline_p.append(iline)
+            merge_p.append(merge)
+            taken_p.append(taken)
+            cnt_p.append(count)
+            line_p.append(lines)
+            wr_p.append(wr)
+
+    def pad(parts: list, width: int, dtype) -> np.ndarray:
+        out = np.zeros((total, width), dtype=dtype)
+        at = 0
+        for p in parts:
+            out[at:at + len(p), : p.shape[1]] = p
+            at += len(p)
+        return out
+
+    iline_all = np.concatenate(iline_p) if iline_p else np.zeros(0, np.int64)
+    if iline_all.size == 0 or int(iline_all.max()) < 2**31:
+        # 32-bit I-line ids halve the per-step gather/compare traffic
+        iline_all = iline_all.astype(np.int32)
+    return {
+        "base": base,
+        "nops": np.concatenate(nops_p),
+        "iline": iline_all,
+        "merge": np.concatenate(merge_p),
+        "taken": np.concatenate(taken_p),
+        "mem_cnt": np.concatenate(cnt_p),
+        "mem_line": pad(line_p, m_max, np.int64),
+        "mem_wr": pad(wr_p, m_max, np.int8),
+        "m_max": m_max,
+    }
+
+
+# ---------------------------------------------------------------------------
+# the lockstep executor
+# ---------------------------------------------------------------------------
+
+
+def run_batch(
+    policy: Policy,
+    cfg: MachineConfig,
+    params: SimParams,
+    n_threads: int,
+    cells: Sequence[Sequence[str]],
+    bundles: Mapping[str, TraceBundle],
+) -> list[SimStats]:
+    """Run every cell of one batch group in lockstep; returns one
+    :class:`SimStats` per cell, bit-identical to scalar execution."""
+    if not cells:
+        return []
+    if not batch_eligible(policy, cfg, params):
+        raise ValueError(
+            f"cell shape not batch-eligible: {policy.name} on "
+            f"{cfg.memory.name} memory / priority {params.priority}"
+        )
+    n_benches = len(cells[0])
+    if any(len(c) != n_benches for c in cells):
+        raise ValueError("batch group mixes workload sizes")
+
+    nt = n_threads
+    n_lanes = len(cells)
+    op_merge = policy.merge == "op"
+    perfect = bool(params.perfect_memory)
+    timeslice = params.timeslice
+    target = params.target_instructions
+    end_cycle = params.max_cycles
+    taken_penalty = cfg.taken_branch_penalty
+    multi = n_benches > 1 and timeslice > 0
+    i_penalty = cfg.icache.miss_penalty
+    d_penalty = cfg.dcache.miss_penalty
+    from ..core.merging import MergeEngine
+
+    engine = MergeEngine(cfg, policy.merge)
+    if op_merge:
+        # eligibility guarantees the packed capacity fits in 64 bits;
+        # the SWAR borrow trick is bit-identical in two's complement,
+        # so everything runs as int64 (the top field's guard bit is the
+        # sign bit)
+        capacity = np.uint64(engine.capacity).astype(np.int64)
+        guards = np.uint64(engine.guards).astype(np.int64)
+        cap_guard = capacity | guards
+
+    rot_vec = (
+        renaming_vector(nt, cfg.n_clusters)
+        if params.renaming
+        else [0] * nt
+    )
+    name_ids: dict[str, int] = {}
+    for members in cells:
+        for m in members:
+            if m not in name_ids:
+                name_ids[m] = len(name_ids)
+    names = list(name_ids)
+    seg = _build_segments(
+        names, bundles, sorted(set(rot_vec)), cfg, op_merge
+    )
+    g_taken = seg["taken"]
+    g_mem_cnt = seg["mem_cnt"]
+    g_mem_line, g_mem_wr = seg["mem_line"], seg["mem_wr"]
+    m_max = seg["m_max"]
+    # separate contiguous gathers beat one packed [*, 3] table: slicing
+    # the packed gather leaves strided views that tax every later
+    # full-width op (memory counts are only gathered for the issued
+    # subset)
+    g_nops = seg["nops"]
+    g_iline = seg["iline"]
+    g_merge = seg["merge"].view(np.int64)
+    # 32-bit hot state halves the full-width memory traffic; fall back
+    # to 64-bit when a scenario could overflow it (huge max_cycles)
+    ctype = np.int32 if end_cycle < 2**30 else np.int64
+    iltype = g_iline.dtype
+    # pos-stream base per (name id, slot): bench b in slot s reads
+    # positions [pb_slot[nid, s], pb_slot[nid, s] + len)
+    pb_slot = np.zeros((len(names), nt), dtype=np.int64)
+    for nid in range(len(names)):
+        for s in range(nt):
+            pb_slot[nid, s] = seg["base"][(nid, rot_vec[s])]
+
+    # ---- per-(lane, bench) state [n_lanes * n_benches] ----
+    nb = n_benches
+    nid_pb = np.zeros(n_lanes * nb, dtype=np.int64)
+    len_pb = np.zeros(n_lanes * nb, dtype=np.int64)
+    for lane, members in enumerate(cells):
+        for b, m in enumerate(members):
+            nid_pb[lane * nb + b] = name_ids[m]
+            len_pb[lane * nb + b] = len(bundles[m].idx)
+    pos = np.zeros(n_lanes * nb, dtype=np.int64)
+    instr_pb = np.zeros(n_lanes * nb, dtype=np.int64)
+    ops_pb = np.zeros(n_lanes * nb, dtype=np.int64)
+    respawn_pb = np.zeros(n_lanes * nb, dtype=np.int64)
+
+    # ---- per-(lane, slot) thread state, [n_lanes, nt] slot order ----
+    cb2 = np.full((n_lanes, nt), -1, dtype=np.int32)
+    pend2 = np.zeros((n_lanes, nt), dtype=bool)
+    il2 = np.full((n_lanes, nt), -1, dtype=iltype)
+    st2 = np.zeros((n_lanes, nt), dtype=ctype)
+    fe2 = np.zeros((n_lanes, nt), dtype=ctype)
+    # current absolute segment position per slot, plus its bounds (the
+    # slot's rotated copy of the assigned bench); segment positions are
+    # bounded by the summed trace lengths, far below 2**31
+    ppc2 = np.zeros((n_lanes, nt), dtype=np.int32)
+    pbase2 = np.zeros((n_lanes, nt), dtype=np.int32)
+    plim2 = np.ones((n_lanes, nt), dtype=np.int32)
+    cb_f = cb2.ravel()
+    il_f = il2.ravel()
+    st_f = st2.ravel()
+    fe_f = fe2.ravel()
+    ppc_f = ppc2.ravel()
+    pbase_f = pbase2.ravel()
+    plim_f = plim2.ravel()
+
+    # ---- per-lane state and counters ----
+    cycle = np.zeros(n_lanes, dtype=ctype)
+    next_switch = np.full(n_lanes, timeslice, dtype=ctype)
+    switching = np.zeros(n_lanes, dtype=bool)
+    target_hit = np.zeros(n_lanes, dtype=bool)
+    draw_count = np.zeros(n_lanes, dtype=np.int64)
+    c_operations = np.zeros(n_lanes, dtype=np.int64)
+    c_instructions = np.zeros(n_lanes, dtype=np.int64)
+    c_vwaste = np.zeros(n_lanes, dtype=np.int64)
+    c_iacc = np.zeros(n_lanes, dtype=np.int64)
+    c_imiss = np.zeros(n_lanes, dtype=np.int64)
+    c_dacc = np.zeros(n_lanes, dtype=np.int64)
+    c_dmiss = np.zeros(n_lanes, dtype=np.int64)
+    c_dwb = np.zeros(n_lanes, dtype=np.int64)
+    c_switches = np.zeros(n_lanes, dtype=np.int64)
+    packet = np.zeros((n_lanes, nt + 1), dtype=np.int64)
+
+    # ---- cache tag/LRU state (sentinel -1 = empty way) ----
+    if not perfect:
+        n_isets = cfg.icache.n_sets
+        n_dsets = cfg.dcache.n_sets
+        itags = np.full(
+            (n_lanes, cfg.icache.n_sets, cfg.icache.assoc), -1, np.int64
+        )
+        dtags = np.full(
+            (n_lanes, cfg.dcache.n_sets, cfg.dcache.assoc), -1, np.int64
+        )
+        ddirty = np.zeros(dtags.shape, dtype=np.int8)
+        # collision-detection scratch for _bulk_probe (stamped with a
+        # monotonically increasing probe id, never cleared)
+        owner_i = np.empty(n_lanes * n_isets, dtype=np.int64)
+        dstamp_i = np.zeros(n_lanes * n_isets, dtype=np.int64)
+        owner_d = np.empty(n_lanes * n_dsets, dtype=np.int64)
+        dstamp_d = np.zeros(n_lanes * n_dsets, dtype=np.int64)
+    psid = 0
+
+    # ---- shared RNG stream ----
+    # every lane owns random.Random(seed) with the *same* seed and
+    # advances it only on (re)schedules, so all lanes share one draw
+    # sequence; per-lane draw counters index into it
+    rng = random.Random(params.seed)
+    draws: list[list[int]] = []
+
+    def _draw(j: int) -> list[int]:
+        while len(draws) <= j:
+            draws.append(rng.sample(range(nb), min(nt, nb)))
+        return draws[j]
+
+    def _assign_lane(lane: int) -> None:
+        """rng.sample + _Thread.assign for one lane (pend/last_iline
+        reset; stall_until/fetch_at persist across switches)."""
+        picks = _draw(int(draw_count[lane]))
+        draw_count[lane] += 1
+        for s in range(nt):
+            b = picks[s] if s < len(picks) else -1
+            cb2[lane, s] = b
+            pend2[lane, s] = False
+            il2[lane, s] = -1
+            if b >= 0:
+                pb = lane * nb + b
+                base = pb_slot[nid_pb[pb], s]
+                pbase2[lane, s] = base
+                plim2[lane, s] = base + len_pb[pb]
+                ppc2[lane, s] = base + pos[pb]
+
+    for lane in range(n_lanes):
+        _assign_lane(lane)
+
+    def _context_switch(lanes: np.ndarray) -> None:
+        for lane in lanes.tolist():
+            _assign_lane(lane)
+        c_switches[lanes] += 1
+        next_switch[lanes] = cycle[lanes] + timeslice
+        switching[lanes] = False
+
+    def _fast_forward(ffl: np.ndarray) -> None:
+        """Vectorised bulk idle skip: per surviving lane, jump to the
+        earliest cycle any thread can act (elementwise min across
+        slots), clamped to the next timeslice expiry."""
+        cur = ffl
+        while cur.size:
+            cyc = cycle[cur]
+            sw = switching[cur]
+            pn = ~pend2[cur]
+            # a draining fetch-idle thread is excluded: it cannot act
+            # until the switch, which the pending threads drive
+            incl = (cb2[cur] >= 0) & ~(pn & sw[:, None])
+            stv = st2[cur]
+            w = np.where(pn, np.maximum(stv, fe2[cur]), stv)
+            can_act = (incl & (w <= cyc[:, None])).any(axis=1)
+            wake = np.where(incl, w, end_cycle).min(axis=1)
+            wake = np.minimum(wake, end_cycle)
+            stay = ~can_act
+            if multi:
+                wake = np.where(
+                    stay & ~sw, np.minimum(wake, next_switch[cur]), wake
+                )
+            sidx = np.nonzero(stay)[0]
+            if sidx.size == 0:
+                return
+            sl = cur[sidx]
+            c_vwaste[sl] += wake[sidx] - cyc[sidx]
+            cycle[sl] = wake[sidx]
+            if multi:
+                due = sidx[wake[sidx] >= next_switch[sl]]
+                if due.size:
+                    dl = cur[due]
+                    switching[dl] = True
+                    drained = dl[~pend2[dl].any(axis=1)]
+                    if drained.size:
+                        _context_switch(drained)
+            cont = cycle[sl] < end_cycle
+            cur = sl[cont]
+
+    # ---- the lockstep cycle loop ----
+    #
+    # Full-width [n_lanes, nt] phases in natural slot order; finished
+    # lanes are masked out by ``act`` rather than compacted (the group
+    # is homogeneous, so lanes finish near-simultaneously and the tail
+    # is short).  Priority order is consulted only where it is
+    # observable: capacity-short merges and same-cycle multi-probe
+    # cache lanes.
+    act = np.ones(n_lanes, dtype=bool)
+    while act.any():
+        cycc = cycle[:, None]
+        # ---- fetch decisions (slot-local, order-free) ----
+        ready = act[:, None] & (cb2 >= 0) & (st2 <= cycc)
+        want_f = ready & ~pend2 & ~switching[:, None] & (fe2 <= cycc)
+        npq = g_nops[ppc2]
+        ilq = g_iline[ppc2]
+        mvq = g_merge[ppc2]
+        newline = want_f & (ilq != il2)
+        # ---- icache probes (one bulk pass) + I-line tracking ----
+        icmiss = None
+        ir, ic = np.nonzero(newline)
+        if ir.size:
+            c_iacc += np.bincount(ir, minlength=n_lanes)
+            gil = ir * nt + ic
+            ilines = ilq[ir, ic]
+            # the fetched line is remembered even when the probe
+            # misses; a taken branch or respawn forgets it at retire
+            il_f[gil] = ilines
+            if not perfect:
+                psid += 1
+                rank = (ic - cycle[ir]) % nt
+                miss, _ = _bulk_probe(
+                    itags, None, ir, rank, ilines, None, n_isets,
+                    owner_i, dstamp_i, psid,
+                )
+                if miss.any():
+                    icm = gil[miss]
+                    icmiss = np.zeros(n_lanes * nt, dtype=bool)
+                    icmiss[icm] = True
+                    icmiss = icmiss.reshape(n_lanes, nt)
+                    c_imiss += np.bincount(
+                        ir[miss], minlength=n_lanes
+                    )
+                    fe_f[icm] = cycle[ir[miss]] + i_penalty
+        # ---- merge: all-offers-fit fast path ----
+        if icmiss is None:
+            offered = ready & (pend2 | want_f)
+        else:
+            offered = ready & (pend2 | (want_f & ~icmiss))
+        npos = npq > 0
+        nonempty = offered & npos
+        mvo = np.where(nonempty, mvq, 0)
+        if op_merge:
+            # per-field sums stay below the guard bit (<= 8 threads x
+            # 7-wide usage fields), so the SWAR >= test is exact
+            fits = ((cap_guard - mvo.sum(axis=1)) & guards) == guards
+        else:
+            ors = np.bitwise_or.reduce(mvo, axis=1)
+            fits = _POPCNT[ors] == _POPCNT[mvo].sum(axis=1)
+        if fits.all():
+            issued = nonempty
+        else:
+            issued = nonempty & fits[:, None]
+            hard = np.nonzero(~fits)[0]
+            # capacity actually contended: greedy priority-order admit
+            if op_merge:
+                remh = np.full(hard.size, capacity, dtype=np.int64)
+            else:
+                usedh = np.zeros(hard.size, dtype=np.int64)
+            bs = cycle[hard]
+            for k in range(nt):
+                ck = (bs + k) % nt
+                nek = nonempty[hard, ck]
+                mvk = mvq[hard, ck]
+                if op_merge:
+                    okk = nek & (
+                        (((remh | guards) - mvk) & guards) == guards
+                    )
+                    remh[okk] -= mvk[okk]
+                else:
+                    okk = nek & ((mvk & usedh) == 0)
+                    usedh[okk] |= mvk[okk]
+                issued[hard, ck] = okk
+            pend2 |= nonempty & ~issued
+        retired = issued | (offered & ~npos)
+        pend2 &= ~retired
+        # ---- retire / issue bookkeeping + memory probes, all on the
+        # compacted retired subset (issued is a subset of retired) ----
+        busy = None
+        rr, rc = np.nonzero(retired)
+        if rr.size:
+            gi = rr * nt + rc
+            ppv = ppc_f[gi]
+            tk = g_taken[ppv]
+            fe_f[gi] = cycle[rr] + 1 + tk * taken_penalty
+            nv = ppv + 1
+            wrap = nv >= plim_f[gi]
+            ppc_f[gi] = np.where(wrap, pbase_f[gi], nv)
+            pbr = rr * nb + cb_f[gi]
+            pos[pbr] = np.where(wrap, 0, pos[pbr] + 1)
+            respawn_pb[pbr] += wrap
+            ni = instr_pb[pbr] + 1
+            instr_pb[pbr] = ni
+            ht = rr[ni >= target]
+            if ht.size:
+                target_hit[ht] = True
+            il_f[gi] = np.where(wrap | (tk != 0), -1, il_f[gi])
+            c_instructions += np.bincount(rr, minlength=n_lanes)
+            isu = issued[rr, rc]
+            qr = rr[isu]
+            if qr.size:
+                qc = rc[isu]
+                nops_q = npq[qr, qc]
+                ops_pb[pbr[isu]] += nops_q
+                c_operations += np.bincount(
+                    qr, weights=nops_q, minlength=n_lanes
+                ).astype(np.int64)
+                contrib = np.bincount(qr, minlength=n_lanes)
+                busy = contrib > 0
+                br = np.nonzero(busy)[0]
+                packet[br, contrib[br]] += 1
+                # ---- memory probes (blocking: misses serialise in
+                # increasing-cluster order within a thread, threads in
+                # priority order — exactly the rank the bulk pass
+                # serialises same-set probes by; each miss adds its
+                # penalty to the issuing thread's stall) ----
+                if m_max:
+                    ppq = ppv[isu]
+                    cq = g_mem_cnt[ppq]
+                    pz = np.nonzero(cq)[0]
+                    if pz.size:
+                        prr = qr[pz]
+                        cnts = cq[pz]
+                        c_dacc += np.bincount(
+                            prr, weights=cnts, minlength=n_lanes
+                        ).astype(np.int64)
+                        if not perfect:
+                            prc = qc[pz]
+                            ppd = ppq[pz]
+                            rank0 = (prc - cycle[prr]) % nt
+                            if m_max == 1:
+                                rank = rank0
+                                lines = g_mem_line[ppd, 0]
+                                wrs = g_mem_wr[ppd, 0]
+                            else:
+                                # ragged expand: probe t of slot s maps
+                                # to (row rep[t], column jv[t])
+                                rep = np.repeat(
+                                    np.arange(cnts.size), cnts
+                                )
+                                jv = (
+                                    np.arange(rep.size)
+                                    - (np.cumsum(cnts) - cnts)[rep]
+                                )
+                                ppe = ppd[rep]
+                                lines = g_mem_line[ppe, jv]
+                                wrs = g_mem_wr[ppe, jv]
+                                rank = rank0[rep] * m_max + jv
+                                prr = prr[rep]
+                                prc = prc[rep]
+                            psid += 1
+                            miss, evict = _bulk_probe(
+                                dtags, ddirty, prr, rank, lines, wrs,
+                                n_dsets, owner_d, dstamp_d, psid,
+                            )
+                            mr = prr[miss]
+                            if mr.size:
+                                c_dmiss += np.bincount(
+                                    mr, minlength=n_lanes
+                                )
+                                penf = np.bincount(
+                                    mr * nt + prc[miss],
+                                    minlength=n_lanes * nt,
+                                )
+                                upd = np.nonzero(penf)[0]
+                                st_f[upd] = np.maximum(
+                                    st_f[upd],
+                                    cycle[upd // nt]
+                                    + 1
+                                    + penf[upd] * d_penalty,
+                                )
+                            assert evict is not None
+                            er = prr[evict]
+                            if er.size:
+                                c_dwb += np.bincount(
+                                    er, minlength=n_lanes
+                                )
+        # ---- accounting / advance ----
+        if busy is None:
+            c_vwaste += act
+            idle = act
+        else:
+            idle = act & ~busy
+            c_vwaste += idle
+        cycle += act
+        # ---- multitasking scheduler ----
+        if multi:
+            switching |= act & (cycle >= next_switch)
+            drained = np.nonzero(
+                switching & act & ~pend2.any(axis=1)
+            )[0]
+            if drained.size:
+                _context_switch(drained)
+        # ---- bulk idle skip ----
+        ff = np.nonzero(idle & ~target_hit & (cycle < end_cycle))[0]
+        if ff.size:
+            _fast_forward(ff)
+        act &= ~target_hit & (cycle < end_cycle)
+
+    # ---- per-lane stats assembly ----
+    out = []
+    for lane, members in enumerate(cells):
+        lane_counters = {
+            "cycles": int(cycle[lane]),
+            "operations": int(c_operations[lane]),
+            "instructions": int(c_instructions[lane]),
+            "vertical_waste": int(c_vwaste[lane]),
+            "icache_accesses": int(c_iacc[lane]),
+            "icache_misses": int(c_imiss[lane]),
+            "dcache_accesses": int(c_dacc[lane]),
+            "dcache_misses": int(c_dmiss[lane]),
+            "dcache_writebacks": int(c_dwb[lane]),
+            "context_switches": int(c_switches[lane]),
+        }
+        per_bench = [
+            (
+                int(instr_pb[lane * nb + b]),
+                int(ops_pb[lane * nb + b]),
+                int(respawn_pb[lane * nb + b]),
+            )
+            for b in range(nb)
+        ]
+        packets = {
+            tc: int(packet[lane, tc])
+            for tc in range(1, nt + 1)
+            if packet[lane, tc]
+        }
+        out.append(
+            _assemble_stats(
+                cfg, perfect, tuple(members), lane_counters, per_bench,
+                packets,
+            )
+        )
+    return out

@@ -1,0 +1,308 @@
+"""The lockstep batch tier (repro.pipeline.batch + the engine's group
+scheduler): bit-identity to scalar execution under any partition of the
+matrix, eligibility ejection, fault-plan ejection, resume after an
+interrupted batched sweep, and the session-owned warm worker pool."""
+
+import random
+import time
+
+import pytest
+
+from repro.arch.config import PAPER_MACHINE, get_memory_config
+from repro.core.policies import ALL_POLICIES, get_policy
+from repro.engine import ExperimentScale, SimulationSession
+from repro.engine.runner import RetryPolicy
+from repro.kernels.suite import BENCH_ORDER, get_trace
+from repro.pipeline.batch import batch_eligible, batch_key, run_batch
+from repro.pipeline.processor import Processor, SimParams
+
+TINY = ExperimentScale(
+    kernel_scale=0.06, target_instructions=1_500, timeslice=800
+)
+PARAMS = SimParams(target_instructions=1_500, timeslice=800)
+
+#: nine distinct cells (paper-style 4-bench mixes at tiny scale)
+CELLS = [
+    ("mcf", "bzip2", "blowfish", "gsmencode"),
+    ("mcf", "bzip2", "gsmencode", "g721encode"),
+    ("mcf", "blowfish", "g721encode", "cjpeg"),
+    ("bzip2", "blowfish", "gsmencode", "cjpeg"),
+    ("mcf", "g721encode", "cjpeg", "djpeg"),
+    ("bzip2", "g721encode", "djpeg", "x264"),
+    ("blowfish", "cjpeg", "djpeg", "x264"),
+    ("gsmencode", "cjpeg", "x264", "idct"),
+    ("g721encode", "djpeg", "x264", "idct"),
+]
+
+FAST = dict(backoff_s=0.01)
+
+
+def _bundles(cells, cfg=PAPER_MACHINE, scale=TINY.kernel_scale):
+    return {
+        name: get_trace(name, scale, cfg)
+        for members in cells
+        for name in members
+    }
+
+
+def _scalar(policy, cell, nt, cfg=PAPER_MACHINE, params=PARAMS):
+    bundles = _bundles([cell], cfg)
+    return Processor(
+        get_policy(policy) if isinstance(policy, str) else policy,
+        [bundles[m] for m in cell], nt, cfg, params,
+    ).run()
+
+
+# ------------------------------------------------------- executor identity
+@pytest.mark.parametrize("policy,nt", [
+    ("SMT", 1), ("SMT", 2), ("SMT", 4), ("CSMT", 2), ("CSMT", 4),
+])
+def test_run_batch_bit_identical_to_scalar(policy, nt):
+    got = run_batch(
+        get_policy(policy), PAPER_MACHINE, PARAMS, nt, CELLS,
+        _bundles(CELLS),
+    )
+    for cell, stats in zip(CELLS, got):
+        assert stats.to_dict() == _scalar(policy, cell, nt).to_dict()
+
+
+def test_run_batch_perfect_memory_identity():
+    params = SimParams(
+        target_instructions=1_500, timeslice=800, perfect_memory=True
+    )
+    got = run_batch(
+        get_policy("SMT"), PAPER_MACHINE, params, 4, CELLS,
+        _bundles(CELLS),
+    )
+    for cell, stats in zip(CELLS, got):
+        ref = _scalar("SMT", cell, 4, params=params)
+        assert stats.to_dict() == ref.to_dict()
+
+
+def test_run_batch_duplicate_benches_and_cells():
+    """Cells repeating one bench (and whole repeated cells) collide on
+    the same cache sets every cycle — the serialised-probe path."""
+    cells = [
+        ("mcf", "mcf", "mcf", "mcf"),
+        ("mcf", "mcf", "bzip2", "bzip2"),
+        ("mcf", "mcf", "bzip2", "bzip2"),
+        ("idct", "idct", "idct", "cjpeg"),
+    ]
+    got = run_batch(
+        get_policy("SMT"), PAPER_MACHINE, PARAMS, 4, cells,
+        _bundles(cells),
+    )
+    for cell, stats in zip(cells, got):
+        assert stats.to_dict() == _scalar("SMT", cell, 4).to_dict()
+    # identical cells must produce identical lanes
+    assert got[1].to_dict() == got[2].to_dict()
+
+
+def test_any_partition_is_bit_identical():
+    """Property: however the matrix is partitioned into batch groups,
+    every cell's stats equal serial scalar execution — group membership
+    is unobservable."""
+    scalar = {
+        cell: _scalar("SMT", cell, 2).to_dict() for cell in CELLS
+    }
+    rng = random.Random(7)
+    bundles = _bundles(CELLS)
+    for _ in range(3):
+        cells = list(CELLS)
+        rng.shuffle(cells)
+        while cells:
+            take = rng.randint(1, len(cells))
+            group, cells = cells[:take], cells[take:]
+            got = run_batch(
+                get_policy("SMT"), PAPER_MACHINE, PARAMS, 2, group,
+                bundles,
+            )
+            for cell, stats in zip(group, got):
+                assert stats.to_dict() == scalar[cell]
+
+
+# ------------------------------------------------------------ eligibility
+def test_eligibility_gates():
+    smt = get_policy("SMT")
+    assert batch_eligible(smt, PAPER_MACHINE, PARAMS)
+    # split policies carry per-cycle state the lockstep lane doesn't model
+    split = next(p for p in ALL_POLICIES if p.split != "none")
+    assert not batch_eligible(split, PAPER_MACHINE, PARAMS)
+    # non-flat memory (shared L2, prefetchers, DRAM banks) stays scalar
+    from dataclasses import replace
+
+    l2 = replace(PAPER_MACHINE, memory=get_memory_config("l2"))
+    assert not batch_eligible(smt, l2, PARAMS)
+    # ... unless memory is perfect, where the hierarchy is dead code
+    perfect = SimParams(
+        target_instructions=1_500, timeslice=800, perfect_memory=True
+    )
+    assert batch_eligible(smt, l2, perfect)
+    # fixed-priority scheduling is not the round-robin lane models
+    fixed = SimParams(
+        target_instructions=1_500, timeslice=800, priority="fixed"
+    )
+    assert not batch_eligible(smt, PAPER_MACHINE, fixed)
+
+
+def test_batch_key_separates_shapes():
+    smt, csmt = get_policy("SMT"), get_policy("CSMT")
+    k = batch_key(smt, PAPER_MACHINE, PARAMS, 4, 4)
+    assert k == batch_key(smt, PAPER_MACHINE, PARAMS, 4, 4)
+    assert k != batch_key(csmt, PAPER_MACHINE, PARAMS, 4, 4)
+    assert k != batch_key(smt, PAPER_MACHINE, PARAMS, 2, 4)
+    assert k != batch_key(smt, PAPER_MACHINE, PARAMS, 4, 3)
+
+
+# ------------------------------------------------------------ engine
+def _sweep_kw():
+    return dict(
+        policies=["SMT", "CSMT"],
+        workloads=["llll", "llhh", "hhhh"],
+        n_threads=(2,),
+    )
+
+
+@pytest.fixture(scope="module")
+def sweep_baseline():
+    session = SimulationSession(TINY)
+    return {
+        k: s.to_dict()
+        for k, s in session.sweep(**_sweep_kw()).items()
+    }
+
+
+def test_batched_sweep_matches_scalar(sweep_baseline):
+    s = SimulationSession(TINY, batch=True)
+    results = s.sweep(**_sweep_kw())
+    assert {k: v.to_dict() for k, v in results.items()} == sweep_baseline
+    used = {
+        t["loop_used"]
+        for t in s.telemetry.records if t["source"] == "simulated"
+    }
+    assert used == {"batch"}
+    assert s.simulations == len(results)
+
+
+def test_batched_sweep_ejects_ineligible_cells(sweep_baseline):
+    """Split policies and non-flat memory run scalar inside a batched
+    sweep, and the mixed sweep is still bit-identical."""
+    kw = dict(_sweep_kw(), policies=["SMT", "CCSI AS"],
+              memory=("paper", "l2"))
+    scalar = SimulationSession(TINY).sweep(**kw)
+    s = SimulationSession(TINY, batch=True)
+    results = s.sweep(**kw)
+    assert {k: v.to_dict() for k, v in results.items()} == {
+        k: v.to_dict() for k, v in scalar.items()
+    }
+    used = {
+        (t["policy"], t["memory"]): t["loop_used"]
+        for t in s.telemetry.records if t["source"] == "simulated"
+    }
+    assert used[("SMT", "paper")] == "batch"
+    assert used[("SMT", "l2")] != "batch"
+    assert used[("CCSI AS", "paper")] != "batch"
+
+
+def test_batched_pooled_sweep_matches_scalar(sweep_baseline):
+    s = SimulationSession(TINY, jobs=2, batch=True)
+    try:
+        results = s.sweep(**_sweep_kw())
+        assert {
+            k: v.to_dict() for k, v in results.items()
+        } == sweep_baseline
+        used = {
+            t["loop_used"]
+            for t in s.telemetry.records if t["source"] == "simulated"
+        }
+        assert used == {"batch"}
+    finally:
+        s.close()
+    assert s._pool is None
+
+
+def test_batched_sweep_under_crash_fault(sweep_baseline):
+    """A fault-planned cell never joins a batch group: it runs scalar,
+    crashes, retries, and the whole sweep stays bit-identical."""
+    s = SimulationSession(
+        TINY, jobs=2, batch=True,
+        retry=RetryPolicy(**FAST),
+        fault_plan="crash@CSMT/llll/2#1",
+    )
+    try:
+        results = s.sweep(**_sweep_kw())
+    finally:
+        s.close()
+    assert s.failures == []
+    assert {k: v.to_dict() for k, v in results.items()} == sweep_baseline
+
+
+def test_batched_sweep_under_hang_fault(sweep_baseline, monkeypatch):
+    monkeypatch.setenv("REPRO_FAULTS_HANG_S", "10")
+    s = SimulationSession(
+        TINY, jobs=2, batch=True,
+        retry=RetryPolicy(cell_timeout=2.0, **FAST),
+        fault_plan="hang@SMT/hhhh/2#1",
+    )
+    try:
+        results = s.sweep(**_sweep_kw())
+    finally:
+        s.close()
+    assert s.failures == []
+    assert {k: v.to_dict() for k, v in results.items()} == sweep_baseline
+
+
+def test_interrupted_batched_sweep_resumes(tmp_path, sweep_baseline):
+    """An interrupted batched sweep leaves completed cells in the
+    store/journal; a resumed batched sweep simulates only the rest and
+    converges to the scalar counters."""
+    first = SimulationSession(TINY, cache_dir=tmp_path, batch=True)
+    first.sweep(**dict(_sweep_kw(), policies=["SMT"]))
+    done = first.simulations
+    assert done == 3
+    resumed = SimulationSession(TINY, cache_dir=tmp_path, batch=True)
+    results = resumed.sweep(**_sweep_kw(), resume=True)
+    assert {k: v.to_dict() for k, v in results.items()} == sweep_baseline
+    # SMT cells come from the store; only CSMT cells simulate
+    assert resumed.simulations == len(results) - done
+
+
+def test_batched_sweep_persistent_crash_then_resume(tmp_path,
+                                                    sweep_baseline):
+    s = SimulationSession(
+        TINY, jobs=2, batch=True, cache_dir=tmp_path,
+        retry=RetryPolicy(retries=1, **FAST),
+        fault_plan="crash@CSMT/llll/2#*",
+    )
+    try:
+        s.sweep(**_sweep_kw())
+    finally:
+        s.close()
+    assert [f.cell for f in s.failures] == ["CSMT/llll/2"]
+    healed = SimulationSession(TINY, cache_dir=tmp_path, batch=True)
+    results = healed.sweep(**_sweep_kw(), resume=True)
+    assert {k: v.to_dict() for k, v in results.items()} == sweep_baseline
+    assert healed.simulations == 1  # exactly the convicted cell
+
+
+# ------------------------------------------------------------ warm pool
+def test_pool_reused_across_sweeps():
+    """Satellite: consecutive sweeps on one session share one worker
+    pool, and a warm (fully cached) sweep costs almost nothing."""
+    s = SimulationSession(TINY, jobs=2, batch=True)
+    try:
+        t0 = time.perf_counter()
+        s.sweep(**_sweep_kw())
+        cold = time.perf_counter() - t0
+        pool = s._pool
+        assert pool is not None
+        # a second sweep with new cells must reuse the same executor
+        s.sweep(**dict(_sweep_kw(), workloads=["mmmm"]))
+        assert s._pool is pool
+        t0 = time.perf_counter()
+        s.sweep(**_sweep_kw())  # warm: memo hits only
+        warm = time.perf_counter() - t0
+        assert s.simulations == 8  # 6 + 2: nothing re-simulated
+        assert warm < max(cold, 0.05)
+    finally:
+        s.close()
